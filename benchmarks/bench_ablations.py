@@ -1,0 +1,198 @@
+"""[E-ABL] Ablations of the design choices DESIGN.md calls out.
+
+1. **Palette/time tradeoff (Corollary 7.3)** — epsilon sweep: squeezing AG's
+   modulus towards (1+eps)Delta shrinks the palette and inflates the round
+   bound by ~1/eps.
+2. **The 2*Delta+1 floor is load-bearing** — same AG run with the floor
+   removed entirely (modulus just above sqrt(k)): on dense graphs vertices
+   exceed the conflict budget and convergence degrades or fails within the
+   q-round window.
+3. **Exact hybrid vs standard reduction** — the two (Delta+1) finishes of
+   Corollary 3.6 / Section 7 compared head-to-head on rounds and bits.
+"""
+
+from bench_util import report
+
+from repro.analysis import is_proper_coloring
+from repro.core import (
+    AdditiveGroupColoring,
+    ExactDeltaPlusOneHybrid,
+    StandardColorReduction,
+)
+from repro.core.ag import ag_prime_for
+from repro.graphgen import complete_graph, random_regular
+from repro.linial import LinialColoring
+from repro.mathutil.primes import next_prime_at_least
+from repro.runtime import ColoringEngine, ColoringPipeline
+
+
+def run_epsilon_sweep():
+    graph = random_regular(72, 24, seed=1)
+    rows = []
+    for epsilon in (0.25, 0.5, 1.0, None):
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupColoring(epsilon=epsilon)
+        result = engine.run(stage, list(range(graph.n)))
+        assert is_proper_coloring(graph, result.int_colors)
+        rows.append(
+            (
+                "default" if epsilon is None else epsilon,
+                stage.q,
+                round(stage.q / graph.max_degree, 2),
+                result.rounds_used,
+                stage.rounds_bound,
+            )
+        )
+    return rows
+
+
+def run_floor_ablation():
+    """Remove the 2*Delta+1 floor on a clique: the densest conflict pattern."""
+    rows = []
+    for n in (10, 14, 18):
+        graph = complete_graph(n)
+        delta = graph.max_degree
+        k = graph.n
+
+        with_floor = ag_prime_for(k, delta)
+        without_floor = next_prime_at_least(max(2, int(k ** 0.5)))
+
+        def run_with_modulus(q, max_rounds):
+            # Conflict-heavy proper start: distinct a per vertex, only three
+            # distinct b values (when q allows), so most pairs collide.
+            colors = [(v % q, v % min(3, q)) for v in range(graph.n)]
+            if len(set(colors)) != graph.n:
+                colors = [(c // q, c % q) for c in range(graph.n)]
+            for round_index in range(max_rounds):
+                if all(a == 0 for a, _ in colors):
+                    return round_index, True
+                new = []
+                for v in graph.vertices():
+                    a, b = colors[v]
+                    conflict = any(
+                        colors[u][1] == b for u in graph.neighbors(v)
+                    )
+                    new.append((a, (b + a) % q) if conflict else (0, b))
+                colors = new
+            done = all(a == 0 for a, _ in colors)
+            # A "finished" run must also be proper to count as success.
+            if done:
+                finals = [b for _, b in colors]
+                done = all(
+                    finals[u] != finals[v] for u, v in graph.edges
+                )
+            return max_rounds, done
+
+        budget = 3 * with_floor
+        rounds_ok, ok = run_with_modulus(with_floor, budget)
+        rounds_bad, bad_ok = run_with_modulus(without_floor, budget)
+        rows.append(
+            (
+                n,
+                with_floor,
+                "%d (ok)" % rounds_ok if ok else "FAILED",
+                without_floor,
+                "%d (ok)" % rounds_bad if bad_ok else ">%d / improper" % budget,
+            )
+        )
+    return rows
+
+
+def run_finish_comparison():
+    rows = []
+    for delta in (6, 12, 24):
+        graph = random_regular(96, delta, seed=delta)
+        std = ColoringPipeline(
+            [LinialColoring(), AdditiveGroupColoring(), StandardColorReduction()]
+        ).run(graph, list(range(graph.n)))
+        hybrid = ColoringPipeline(
+            [LinialColoring(), AdditiveGroupColoring(), ExactDeltaPlusOneHybrid()]
+        ).run(graph, list(range(graph.n)))
+        assert max(std.colors) <= delta and max(hybrid.colors) <= delta
+        rows.append(
+            (delta, std.total_rounds, hybrid.total_rounds, std.total_bits, hybrid.total_bits)
+        )
+    return rows
+
+
+def test_epsilon_palette_time_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_epsilon_sweep, rounds=1, iterations=1)
+    report(
+        "E-ABL-eps",
+        "Corollary 7.3 tradeoff: AG modulus vs rounds (Delta=24, n=72)",
+        ("epsilon", "q", "q/Delta", "rounds used", "rounds bound"),
+        rows,
+    )
+    qs = [r[1] for r in rows]
+    assert qs == sorted(qs)  # palette grows back towards the default
+    assert rows[0][4] >= rows[-1][4]  # the bound pays for the squeeze
+
+
+def test_modulus_floor_is_load_bearing(benchmark):
+    rows = benchmark.pedantic(run_floor_ablation, rounds=1, iterations=1)
+    report(
+        "E-ABL-floor",
+        "Negative control: AG with vs without the q > 2*Delta floor (cliques)",
+        ("clique n", "q (floored)", "floored outcome", "q (no floor)", "no-floor outcome"),
+        rows,
+        notes=(
+            "Without q > 2*Delta the two-conflicts-per-window argument "
+            "(Lemmas 3.3/3.4) breaks: cliques stall or finish improper."
+        ),
+    )
+    assert all("ok" in r[2] for r in rows)  # floored version always converges
+    assert any("ok" not in str(r[4]) for r in rows)  # unfloored fails somewhere
+
+
+def test_exact_finishes_compared(benchmark):
+    rows = benchmark.pedantic(run_finish_comparison, rounds=1, iterations=1)
+    report(
+        "E-ABL-finish",
+        "Finishing stage: standard reduction vs exact hybrid (n=96)",
+        ("Delta", "std rounds", "hybrid rounds", "std bits", "hybrid bits"),
+        rows,
+    )
+    for delta, std_rounds, hybrid_rounds, _, _ in rows:
+        assert std_rounds <= 8 * delta + 16
+        assert hybrid_rounds <= 14 * delta + 16
+
+
+def run_completion_comparison():
+    from repro import one_plus_eps_delta_coloring
+    from repro.graphgen import random_regular as rr
+
+    rows = []
+    for delta in (9, 16, 25):
+        graph = rr(90, delta, seed=delta)
+        for backend in ("orientation", "hpartition"):
+            result = one_plus_eps_delta_coloring(graph, completion=backend)
+            assert is_proper_coloring(graph, result.colors)
+            rows.append(
+                (
+                    delta,
+                    backend,
+                    result.stage_rounds["class-completion"],
+                    result.palette_size,
+                )
+            )
+    return rows
+
+
+def test_completion_backends_compared(benchmark):
+    rows = benchmark.pedantic(run_completion_comparison, rounds=1, iterations=1)
+    report(
+        "E-ABL-completion",
+        "Theorem 6.4 class completion: orientation greedy vs H-partition",
+        ("Delta", "backend", "completion rounds", "total palette"),
+        rows,
+        notes=(
+            "Orientation greedy: tighter palette, depth-bound rounds; "
+            "H-partition [BE'08]: O(log n)-layer rounds, (2+eps)a palette."
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    for delta in (9, 16, 25):
+        orient = by_key[(delta, "orientation")]
+        hpart = by_key[(delta, "hpartition")]
+        assert orient[3] <= hpart[3] * 2  # palettes in the same ballpark
+        assert hpart[2] <= 60  # log-n-ish rounds

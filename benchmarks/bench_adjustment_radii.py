@@ -1,0 +1,122 @@
+"""[E-RADIUS] The adjustment-radius table of the paper, measured.
+
+The paper claims adjustment radii 1 (vertex coloring, both palettes),
+2 (MIS), 2 (edge coloring, via radius-1 line-graph coloring), and
+3 (maximal matching, via radius-2 line-graph MIS).  This bench injects many
+localized faults into stabilized systems on paths (where distances are
+unambiguous) and reports the maximum and mean observed radius per problem.
+"""
+
+from bench_util import report
+
+from repro.selfstab import (
+    SelfStabColoring,
+    SelfStabEdgeColoring,
+    SelfStabEngine,
+    SelfStabExactColoring,
+    SelfStabMaximalMatching,
+    SelfStabMIS,
+)
+
+from bench_selfstab_coloring import dynamic_path
+
+PATH_N = 40
+FAULT_SITES = tuple(range(6, 34, 3))
+
+
+def _vertex_radii(factory, fake_ram):
+    g = dynamic_path(PATH_N)
+    algorithm = factory(PATH_N, 2)
+    engine = SelfStabEngine(g, algorithm)
+    engine.run_to_quiescence()
+    radii = []
+    for victim in FAULT_SITES:
+        value = fake_ram(engine, victim)
+        engine.corrupt(victim, value)
+        engine.reset_touched()
+        engine.corrupt(victim, value)
+        engine.run_to_quiescence()
+        radii.append(engine.adjustment_radius([victim]))
+    return radii
+
+
+def _line_radii(wrapper_factory, fake_ram):
+    base = dynamic_path(PATH_N)
+    wrapper = wrapper_factory(base)
+    wrapper.run_to_quiescence()
+    radii = []
+    edges = base.edges()
+    for index in range(4, len(edges) - 4, 4):
+        mid = edges[index]
+        slot = wrapper.mirror.slot(*mid)
+        value = fake_ram(wrapper, slot)
+        wrapper.engine.corrupt(slot, value)
+        wrapper.engine.reset_touched()
+        wrapper.engine.corrupt(slot, value)
+        wrapper.run_to_quiescence()
+        touched_vertices = set()
+        for s in wrapper.engine.touched:
+            u, v = wrapper.mirror.edge_of(s)
+            touched_vertices.update((u, v))
+        distances = base.bfs_distances(set(mid))
+        radii.append(
+            max((distances.get(v, 99) for v in touched_vertices), default=0)
+        )
+    return radii
+
+
+def run_radius_table():
+    rows = []
+
+    def steal_color(engine, victim):
+        neighbor = engine.graph.neighbors(victim)[0]
+        return engine.rams[neighbor]
+
+    def fake_mis(engine, victim):
+        return (engine.rams[victim][0], "MIS")
+
+    for label, factory, fake, claim in (
+        ("O(Delta)-coloring", SelfStabColoring, steal_color, 1),
+        ("exact (Delta+1)-coloring", SelfStabExactColoring, steal_color, 1),
+        ("MIS", SelfStabMIS, fake_mis, 2),
+    ):
+        radii = _vertex_radii(factory, fake)
+        rows.append(
+            (label, claim, max(radii), round(sum(radii) / len(radii), 2))
+        )
+
+    def steal_line_state(wrapper, slot):
+        line = wrapper.mirror.line
+        neighbor = line.neighbors(slot)[0]
+        return wrapper.engine.rams[neighbor]
+
+    def fake_line_mis(wrapper, slot):
+        return (wrapper.engine.rams[slot][0], "MIS")
+
+    for label, factory, fake, claim in (
+        (
+            "(2D-1)-edge-coloring",
+            lambda base: SelfStabEdgeColoring(base, exact=False),
+            steal_line_state,
+            2,
+        ),
+        ("maximal matching", SelfStabMaximalMatching, fake_line_mis, 3),
+    ):
+        radii = _line_radii(factory, fake)
+        rows.append(
+            (label, claim, max(radii), round(sum(radii) / len(radii), 2))
+        )
+    return rows
+
+
+def test_adjustment_radius_table(benchmark):
+    rows = benchmark.pedantic(run_radius_table, rounds=1, iterations=1)
+    report(
+        "E-RADIUS",
+        "Adjustment radii: paper claims vs measured (paths, n=%d, %d faults each)"
+        % (PATH_N, len(FAULT_SITES)),
+        ("problem", "claimed radius", "max measured", "mean measured"),
+        rows,
+    )
+    for label, claim, worst, _ in rows:
+        assert worst <= claim, label

@@ -1,0 +1,84 @@
+"""[E-ARB] Lemmas 6.1–6.3: ArbAG, the arbdefective Additive-Group algorithm.
+
+Sweeps the tolerance p at fixed Delta and Delta at p = sqrt(Delta), and
+reports the three quantities of Section 6: AG-side rounds (2*ceil(Delta/p)+1
+bound), output palette (O(Delta/p)), and the measured arbdefect (class
+degeneracy, O(p)).
+"""
+
+import math
+
+from bench_util import report
+
+from repro.analysis import arbdefect_upper_bound
+from repro.core.arbdefective import ArbAGColoring
+from repro.defective import DefectiveLinialColoring
+from repro.graphgen import random_regular
+from repro.runtime import ColoringEngine
+
+N = 120
+DELTA_FIXED = 24
+DELTAS = (9, 16, 25, 36)
+
+
+def run_once(graph, tolerance):
+    engine = ColoringEngine(graph)
+    defective = DefectiveLinialColoring(tolerance)
+    dres = engine.run(defective, list(range(graph.n)))
+    arb = ArbAGColoring(tolerance)
+    ares = engine.run(arb, dres.int_colors, in_palette_size=defective.out_palette_size)
+    arbdefect = arbdefect_upper_bound(graph, ares.int_colors)
+    return dres.rounds_used, ares.rounds_used, arb.q, arbdefect
+
+
+def run_p_sweep():
+    graph = random_regular(N, DELTA_FIXED, seed=1)
+    rows = []
+    for p in (1, 2, 5, 12, 24):
+        lin_rounds, ag_rounds, palette, arbdefect = run_once(graph, p)
+        bound = 2 * math.ceil(DELTA_FIXED / p) + 1
+        rows.append((p, lin_rounds, ag_rounds, bound, palette, arbdefect))
+    return rows
+
+
+def run_delta_sweep():
+    rows = []
+    for delta in DELTAS:
+        graph = random_regular(N, delta, seed=delta)
+        p = int(round(math.sqrt(delta)))
+        lin_rounds, ag_rounds, palette, arbdefect = run_once(graph, p)
+        rows.append((delta, p, ag_rounds, 2 * math.ceil(delta / p) + 1, palette, arbdefect))
+    return rows
+
+
+def test_arbag_tolerance_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_p_sweep, rounds=1, iterations=1)
+    report(
+        "E-ARB-p",
+        "ArbAG at Delta=%d: tolerance p vs rounds / palette / arbdefect" % DELTA_FIXED,
+        ("p", "log*-stage rounds", "AG-stage rounds", "bound 2*ceil(D/p)+1", "palette q", "arbdefect (degeneracy)"),
+        rows,
+        notes="Lemma 6.1/6.2: rounds <= 2*ceil(Delta/p)+1, arbdefect O(p).",
+    )
+    for p, _, ag_rounds, bound, palette, arbdefect in rows:
+        assert ag_rounds <= bound
+        assert arbdefect <= 4 * p + 8  # O(p) with the construction constants
+    # Larger p => fewer rounds and fewer colors.
+    assert rows[-1][2] <= rows[0][2]
+    assert rows[-1][4] <= rows[0][4]
+
+
+def test_arbag_sqrt_delta_setting(benchmark):
+    rows = benchmark.pedantic(run_delta_sweep, rounds=1, iterations=1)
+    report(
+        "E-ARB-delta",
+        "ArbAG at p=sqrt(Delta): the Theorem 6.4 building block (n=%d)" % N,
+        ("Delta", "p", "AG-stage rounds", "bound", "palette q", "arbdefect"),
+        rows,
+        notes="O(sqrt(Delta))-arbdefective O(sqrt(Delta))-coloring in O(sqrt(Delta)) AG rounds.",
+    )
+    for delta, p, ag_rounds, bound, palette, arbdefect in rows:
+        root = math.sqrt(delta)
+        assert ag_rounds <= bound <= 2 * root + 5
+        assert palette <= 8 * root + 12
+        assert arbdefect <= 6 * root + 10

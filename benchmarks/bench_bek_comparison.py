@@ -1,0 +1,54 @@
+"""[E-BEK] The paper's headline vs the non-locally-iterative state of the art.
+
+Before this paper, O(Delta + log* n) (Delta+1)-coloring required the
+defective-coloring divide-and-conquer of [5, 44, 9] — not locally-iterative
+(mid-run the graph holds a patchwork of per-subgraph states, not a proper
+coloring).  This bench races the paper's locally-iterative pipeline against
+our BEK-style implementation: same linear-in-Delta shape, with the paper
+additionally maintaining a proper coloring every round and running in
+SET-LOCAL.
+"""
+
+from bench_util import report
+
+from repro import delta_plus_one_coloring
+from repro.baselines import bek_delta_plus_one
+from repro.graphgen import random_regular
+
+DELTAS = (8, 16, 24, 32)
+N = 240  # large enough that the defective stage's ~O((Delta/p)^2) classes
+#          (a Delta-independent constant ~121 with p = Delta/4) are visible
+#          as the dominating constant of the BEK merge.
+
+
+def run_comparison():
+    rows = []
+    data = {}
+    for delta in DELTAS:
+        graph = random_regular(N, delta, seed=delta)
+        paper = delta_plus_one_coloring(graph, check_proper_each_round=True)
+        bek = bek_delta_plus_one(graph)
+        assert max(paper.colors) <= delta and max(bek.colors) <= delta
+        data[delta] = (paper.total_rounds, bek.rounds)
+        rows.append((delta, paper.total_rounds, bek.rounds, bek.depth))
+    return rows, data
+
+
+def test_paper_vs_bek(benchmark):
+    rows, data = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    report(
+        "E-BEK",
+        "Locally-iterative (paper) vs divide-and-conquer [5,44,9] (n=%d)" % N,
+        ("Delta", "paper rounds (proper every round)", "BEK rounds", "BEK depth"),
+        rows,
+        notes=(
+            "Both are O(Delta + log* n); only the paper's is locally-"
+            "iterative (verified proper after every round during the run)."
+        ),
+    )
+    for delta, (paper_rounds, bek_rounds) in data.items():
+        # Same asymptotic class: neither blows past ~linear in Delta.
+        assert paper_rounds <= 8 * delta + 16
+        assert bek_rounds <= 60 * delta + 60
+    # The paper's constants are much smaller in practice.
+    assert all(r[1] < r[2] for r in rows)

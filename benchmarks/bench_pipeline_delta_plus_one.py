@@ -1,0 +1,80 @@
+"""[E-PIPE] Corollary 3.6: (Delta+1)-coloring in O(Delta) + log* n rounds.
+
+Two sweeps:
+
+* fixed Delta (cycles, Delta = 2), n growing geometrically — the total round
+  count must track log* n + O(1) (flat, tiny), not n;
+* fixed n, Delta growing — the round count must track O(Delta).
+
+Both the standard-reduction pipeline (Corollary 3.6) and the exact hybrid
+pipeline (Section 7) are measured.
+"""
+
+from bench_util import report
+
+from repro import delta_plus_one_coloring, delta_plus_one_exact_no_reduction
+from repro.analysis import is_proper_coloring
+from repro.graphgen import cycle_graph, random_regular
+from repro.mathutil import log_star
+
+NS = (32, 256, 2048, 16384)
+DELTAS = (4, 8, 16, 32)
+N_FIXED = 144
+
+
+def run_n_sweep():
+    rows = []
+    for n in NS:
+        graph = cycle_graph(n)
+        result = delta_plus_one_coloring(graph)
+        assert is_proper_coloring(graph, result.colors)
+        assert max(result.colors) <= 2
+        exact = delta_plus_one_exact_no_reduction(graph)
+        assert max(exact.colors) <= 2
+        rows.append(
+            (n, log_star(n), result.total_rounds, exact.total_rounds)
+        )
+    return rows
+
+
+def run_delta_sweep():
+    rows = []
+    for delta in DELTAS:
+        graph = random_regular(N_FIXED, delta, seed=delta)
+        result = delta_plus_one_coloring(graph)
+        assert is_proper_coloring(graph, result.colors)
+        assert max(result.colors) <= delta
+        exact = delta_plus_one_exact_no_reduction(graph)
+        assert max(exact.colors) <= delta
+        rows.append((delta, result.total_rounds, exact.total_rounds))
+    return rows
+
+
+def test_log_star_dependence_on_n(benchmark):
+    rows = benchmark.pedantic(run_n_sweep, rounds=1, iterations=1)
+    report(
+        "E-PIPE-n",
+        "(Delta+1)-coloring on cycles: rounds vs n at Delta=2",
+        ("n", "log* n", "Cor 3.6 rounds", "Sec 7 exact rounds"),
+        rows,
+        notes="Rounds must stay ~flat as n grows 512x (the log* regime).",
+    )
+    spread = max(r[2] for r in rows) - min(r[2] for r in rows)
+    assert spread <= 2 * (log_star(NS[-1]) - log_star(NS[0])) + 4
+    assert max(r[2] for r in rows) <= 24  # tiny despite n = 16384
+
+
+def test_linear_dependence_on_delta(benchmark):
+    rows = benchmark.pedantic(run_delta_sweep, rounds=1, iterations=1)
+    report(
+        "E-PIPE-delta",
+        "(Delta+1)-coloring: rounds vs Delta at n=%d" % N_FIXED,
+        ("Delta", "Cor 3.6 rounds", "Sec 7 exact rounds"),
+        rows,
+    )
+    by_delta = {r[0]: r for r in rows}
+    for delta, total, exact_total in rows:
+        assert total <= 8 * delta + log_star(N_FIXED) + 12
+        assert exact_total <= 14 * delta + log_star(N_FIXED) + 16
+    # Roughly linear: quadrupling Delta must not blow up superlinearly (x6).
+    assert by_delta[32][1] <= 6 * max(1, by_delta[8][1])

@@ -1,0 +1,151 @@
+"""[E-SS-COL] Theorem 4.3: self-stabilizing coloring in O(Delta + log* n).
+
+Three measurements:
+
+* stabilization rounds after an all-RAM-equal catastrophe on paths of growing
+  length, for the paper's algorithm vs the classical rank-greedy baseline —
+  the baseline cascades linearly in n, the paper's algorithm stays flat;
+* stabilization rounds vs Delta after heavy random corruption (the O(Delta)
+  term), for both the O(Delta)-color core and the exact (Delta+1) core;
+* adjustment radius of a localized fault (Theorem 4.3: exactly 1).
+"""
+
+import random
+
+from bench_util import report
+
+from repro.baselines import RankGreedySelfStabColoring
+from repro.runtime.graph import DynamicGraph
+from repro.selfstab import (
+    FaultCampaign,
+    SelfStabColoring,
+    SelfStabEngine,
+    SelfStabExactColoring,
+)
+
+PATH_SIZES = (40, 80, 160, 320)
+DELTAS = (3, 5, 8, 12)
+N_FOR_DELTA = 60
+
+
+def dynamic_path(n):
+    g = DynamicGraph(n, 2)
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def build_dynamic(n, delta_bound, p_edge, seed):
+    g = DynamicGraph(n, delta_bound)
+    rng = random.Random(seed)
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (
+                rng.random() < p_edge
+                and g.degree(u) < delta_bound
+                and g.degree(v) < delta_bound
+            ):
+                g.add_edge(u, v)
+    return g
+
+
+def run_path_catastrophe():
+    rows = []
+    for n in PATH_SIZES:
+        g_paper, g_base = dynamic_path(n), dynamic_path(n)
+        paper = SelfStabColoring(n, 2)
+        baseline = RankGreedySelfStabColoring(n, 2)
+        e_paper = SelfStabEngine(g_paper, paper)
+        e_base = SelfStabEngine(g_base, baseline)
+        for v in range(n):
+            e_paper.corrupt(v, paper.plan.offsets[0])  # all-equal core colors
+            e_base.corrupt(v, 0)
+        r_paper = e_paper.run_to_quiescence()
+        r_base = e_base.run_to_quiescence(max_rounds=12 * n)
+        rows.append((n, r_paper, r_base))
+    return rows
+
+
+def run_delta_sweep():
+    rows = []
+    for delta in DELTAS:
+        g = build_dynamic(N_FOR_DELTA, delta, 0.2, seed=delta)
+        worst = {"plain": 0, "exact": 0}
+        for key, factory in (
+            ("plain", SelfStabColoring),
+            ("exact", SelfStabExactColoring),
+        ):
+            algorithm = factory(N_FOR_DELTA, delta)
+            engine = SelfStabEngine(g, algorithm)
+            engine.run_to_quiescence()
+            campaign = FaultCampaign(seed=delta)
+            for _ in range(3):
+                campaign.corrupt_random_rams(engine, N_FOR_DELTA // 2)
+                worst[key] = max(worst[key], engine.run_to_quiescence())
+        rows.append((delta, worst["plain"], worst["exact"]))
+    return rows
+
+
+def run_adjustment_radius():
+    radii = []
+    g = dynamic_path(60)
+    algorithm = SelfStabColoring(60, 2)
+    engine = SelfStabEngine(g, algorithm)
+    engine.run_to_quiescence()
+    for victim in (10, 25, 40):
+        engine.corrupt(victim, engine.rams[victim + 1])
+        engine.reset_touched()
+        engine.corrupt(victim, engine.rams[victim + 1])
+        engine.run_to_quiescence()
+        radii.append(engine.adjustment_radius([victim]))
+    return radii
+
+
+def test_catastrophe_paper_vs_baseline(benchmark):
+    rows = benchmark.pedantic(run_path_catastrophe, rounds=1, iterations=1)
+    report(
+        "E-SS-COL-n",
+        "Self-stab coloring: all-RAM-equal catastrophe on paths (Delta=2)",
+        ("n", "this paper (rounds)", "rank-greedy baseline (rounds)"),
+        rows,
+        notes=(
+            "Paper bound: O(Delta + log* n) — flat in n.  Classical "
+            "baselines: Theta(n) cascades."
+        ),
+    )
+    by_n = {r[0]: r for r in rows}
+    # Baseline grows ~linearly; paper stays flat.
+    assert by_n[320][2] >= 4 * by_n[40][2] / 2
+    assert by_n[320][2] > 320 / 6
+    assert by_n[320][1] <= by_n[40][1] + 10
+    assert all(r[1] < r[2] for r in rows)
+
+
+def test_stabilization_vs_delta(benchmark):
+    rows = benchmark.pedantic(run_delta_sweep, rounds=1, iterations=1)
+    report(
+        "E-SS-COL-delta",
+        "Self-stab coloring: worst stabilization after heavy corruption (n=%d)"
+        % N_FOR_DELTA,
+        ("Delta", "O(Delta)-core rounds", "exact (Delta+1)-core rounds"),
+        rows,
+    )
+    for delta, plain, exact in rows:
+        assert plain <= 10 * delta + 30
+        assert exact <= 40 * delta + 60
+
+
+def test_adjustment_radius_is_one(benchmark):
+    radii = benchmark.pedantic(run_adjustment_radius, rounds=1, iterations=1)
+    report(
+        "E-SS-COL-radius",
+        "Self-stab coloring: adjustment radius of a localized fault",
+        ("fault #", "radius"),
+        list(enumerate(radii)),
+        notes="Theorem 4.3: adjustment radius 1.",
+    )
+    assert all(r <= 1 for r in radii)

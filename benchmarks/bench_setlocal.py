@@ -1,0 +1,96 @@
+"""[E-SETLOCAL] Section 1.2.3: the SET-LOCAL (weak LOCAL) model.
+
+In SET-LOCAL a vertex sees only the *set* of neighbor colors — no IDs, no
+multiplicities, no per-port attribution.  The engine enforces this
+structurally (frozensets).  Starting from a proper O(Delta^2)-coloring,
+measured rounds to reach Delta+1 colors:
+
+* AG + standard reduction (this paper): O(Delta) — the first linear-in-Delta
+  algorithm applicable to this model;
+* Kuhn–Wattenhofer: O(Delta log Delta) — the previous best [62, 47, 33].
+
+Also validates AG's output equals its LOCAL-mode output (the algorithm
+genuinely never uses more than the color set).
+"""
+
+from bench_util import report
+
+from repro.analysis import is_proper_coloring
+from repro.baselines import KuhnWattenhoferReduction
+from repro.core import AdditiveGroupColoring, StandardColorReduction
+from repro.graphgen import random_regular
+from repro.linial import LinialColoring
+from repro.runtime import ColoringEngine, ColoringPipeline, Visibility
+
+DELTAS = (4, 8, 16, 24, 32)
+N = 132
+
+
+def setlocal_start(graph):
+    """A proper O(Delta^2)-coloring (SET-LOCAL assumes one is given)."""
+    engine = ColoringEngine(graph, visibility=Visibility.SET_LOCAL)
+    stage = LinialColoring()
+    result = engine.run(stage, list(range(graph.n)))
+    return result.int_colors, stage.out_palette_size
+
+
+def run_sweep():
+    rows = []
+    data = {}
+    for delta in DELTAS:
+        graph = random_regular(N, delta, seed=delta)
+        start, palette = setlocal_start(graph)
+
+        paper = ColoringPipeline(
+            [AdditiveGroupColoring(), StandardColorReduction()]
+        ).run(graph, start, in_palette_size=palette, visibility=Visibility.SET_LOCAL)
+        assert is_proper_coloring(graph, paper.colors)
+        assert max(paper.colors) <= delta
+
+        kw = ColoringPipeline([KuhnWattenhoferReduction()]).run(
+            graph, start, in_palette_size=palette, visibility=Visibility.SET_LOCAL
+        )
+        assert is_proper_coloring(graph, kw.colors)
+        assert max(kw.colors) <= delta
+
+        data[delta] = (paper.total_rounds, kw.total_rounds)
+        rows.append((delta, palette, paper.total_rounds, kw.total_rounds))
+    return rows, data
+
+
+def run_mode_equivalence():
+    graph = random_regular(N, 8, seed=99)
+    start, palette = setlocal_start(graph)
+    outputs = []
+    for visibility in (Visibility.LOCAL, Visibility.SET_LOCAL):
+        engine = ColoringEngine(graph, visibility=visibility)
+        result = engine.run(
+            AdditiveGroupColoring(), start, in_palette_size=palette
+        )
+        outputs.append(result.int_colors)
+    return outputs
+
+
+def test_setlocal_linear_vs_barrier(benchmark):
+    rows, data = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E-SETLOCAL",
+        "SET-LOCAL model: O(Delta^2)-coloring -> Delta+1, rounds (n=%d)" % N,
+        ("Delta", "start palette", "this paper (AG+std)", "Kuhn-Wattenhofer"),
+        rows,
+        notes=(
+            "Both run under structurally-enforced set visibility.  Lower "
+            "bound in this model: Omega(Delta^{1/3}) [33]."
+        ),
+    )
+    big = DELTAS[-1]
+    assert data[big][0] < data[big][1]  # linear beats the SV barrier
+    for delta, (paper_rounds, _) in data.items():
+        assert paper_rounds <= 8 * delta + 12
+
+
+def test_ag_identical_in_both_models(benchmark):
+    local, setlocal = benchmark.pedantic(
+        run_mode_equivalence, rounds=1, iterations=1
+    )
+    assert local == setlocal

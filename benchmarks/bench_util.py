@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's quantitative claims (DESIGN.md
+section 3 maps experiment ids to claims).  Helpers here format the
+paper-vs-measured tables, write them under ``benchmarks/results/`` and echo
+them to stdout (run pytest with ``-s`` to see them live).
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title, headers, rows):
+    """Render a fixed-width table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def report(exp_id, title, headers, rows, notes=""):
+    """Print and persist one experiment table."""
+    text = format_table("[%s] %s" % (exp_id, title), headers, rows)
+    if notes:
+        text += "\n\n" + notes
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % exp_id)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text + "\n")
+    return text

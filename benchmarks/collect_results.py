@@ -1,0 +1,90 @@
+"""Stitch all benchmark tables into one report.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/collect_results.py
+
+Produces ``benchmarks/results/REPORT.md`` with every experiment table in
+DESIGN.md's index order.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+ORDER = [
+    "T1",
+    "E-AG",
+    "E-AG-WORST",
+    "E-PIPE-n",
+    "E-PIPE-delta",
+    "E-SS-COL-n",
+    "E-SS-COL-delta",
+    "E-SS-COL-radius",
+    "E-RADIUS",
+    "E-DET",
+    "E-RAND-delta",
+    "E-RAND-n",
+    "E-SS-BURST",
+    "E-SS-MIS",
+    "E-SS-MIS-radius",
+    "E-SS-MM",
+    "E-SS-EC",
+    "E-EDGE-delta",
+    "E-EDGE-n",
+    "E-BITPROTO",
+    "E-CONGEST-V",
+    "E-ARB-p",
+    "E-ARB-delta",
+    "E-SUBL",
+    "E-3AG",
+    "E-SETLOCAL",
+    "E-MEM",
+    "E-ABL-eps",
+    "E-ABL-floor",
+    "E-ABL-finish",
+    "E-ABL-completion",
+    "E-BEK",
+    "E-APPS",
+    "E-SCALE",
+]
+
+
+def collect(results_dir=RESULTS_DIR):
+    """Return the combined report text; raises if no tables exist."""
+    sections = []
+    missing = []
+    for exp_id in ORDER:
+        path = os.path.join(results_dir, "%s.txt" % exp_id)
+        if not os.path.exists(path):
+            missing.append(exp_id)
+            continue
+        with open(path) as handle:
+            sections.append("```\n" + handle.read().rstrip() + "\n```")
+    if not sections:
+        raise FileNotFoundError(
+            "no benchmark tables found in %s — run "
+            "`pytest benchmarks/ --benchmark-only` first" % results_dir
+        )
+    header = [
+        "# Benchmark report",
+        "",
+        "Regenerated tables for every experiment in DESIGN.md's index.",
+        "",
+    ]
+    if missing:
+        header.append("Missing (bench not yet run): %s" % ", ".join(missing))
+        header.append("")
+    return "\n\n".join(["\n".join(header)] + sections) + "\n"
+
+
+def main():
+    text = collect()
+    out_path = os.path.join(RESULTS_DIR, "REPORT.md")
+    with open(out_path, "w") as handle:
+        handle.write(text)
+    print("wrote %s (%d bytes)" % (out_path, len(text)))
+
+
+if __name__ == "__main__":
+    main()

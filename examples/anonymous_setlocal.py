@@ -1,0 +1,58 @@
+"""Coloring an anonymous network: the SET-LOCAL model (Section 1.2.3).
+
+Some networks give nodes no IDs and no way to tell identical messages from
+different neighbors apart — only the *set* of received values is visible
+(the weak LOCAL model of Hefetz et al.).  Most coloring algorithms break
+here; the AG family does not, because its step is a pure function of the
+color set.  This example runs the whole pipeline under structurally-enforced
+set visibility and compares against the pre-paper best (Kuhn–Wattenhofer).
+
+    python examples/anonymous_setlocal.py
+"""
+
+from repro import graphgen
+from repro.analysis import is_proper_coloring
+from repro.baselines import KuhnWattenhoferReduction
+from repro.core import AdditiveGroupColoring, StandardColorReduction
+from repro.linial import LinialColoring
+from repro.runtime import ColoringEngine, ColoringPipeline, Visibility
+
+
+def main():
+    graph = graphgen.random_regular(n=90, d=9, seed=13)
+    delta = graph.max_degree
+    print("Anonymous network: %d nodes, Delta = %d" % (graph.n, delta))
+
+    # SET-LOCAL assumes a proper O(Delta^2)-coloring is given; derive one
+    # (Linial itself only needs the color set, so it runs here too).
+    engine = ColoringEngine(graph, visibility=Visibility.SET_LOCAL)
+    linial = LinialColoring()
+    start = engine.run(linial, list(range(graph.n)))
+    print("Given O(Delta^2)-coloring: %d colors" % linial.out_palette_size)
+
+    paper = ColoringPipeline(
+        [AdditiveGroupColoring(), StandardColorReduction()]
+    ).run(
+        graph,
+        start.int_colors,
+        in_palette_size=linial.out_palette_size,
+        visibility=Visibility.SET_LOCAL,
+    )
+    assert is_proper_coloring(graph, paper.colors)
+    print("This paper (AG + reduction): %d rounds -> %d colors"
+          % (paper.total_rounds, max(paper.colors) + 1))
+
+    kw = ColoringPipeline([KuhnWattenhoferReduction()]).run(
+        graph,
+        start.int_colors,
+        in_palette_size=linial.out_palette_size,
+        visibility=Visibility.SET_LOCAL,
+    )
+    print("Previous best (Kuhn-Wattenhofer): %d rounds -> %d colors"
+          % (kw.total_rounds, max(kw.colors) + 1))
+    print("Speedup: %.1fx — linear in Delta vs Delta log Delta."
+          % (kw.total_rounds / max(1, paper.total_rounds)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — Locally-iterative distributed (Delta+1)-coloring below the
+Szegedy–Vishwanathan barrier.
+
+A complete reproduction of Barenboim, Elkin, Goldenberg (PODC 2018):
+
+* the Additive-Group (AG) coloring family — AG, 3AG, AG(N), the exact
+  (Delta+1) hybrid, and the arbdefective ArbAG,
+* the substrate they run on — a synchronous message-passing simulator with
+  LOCAL and SET-LOCAL visibility, Linial's algorithm, defective colorings,
+  Cole–Vishkin, and the classical color-reduction baselines,
+* the applications — fully-dynamic self-stabilizing coloring / MIS / maximal
+  matching / edge coloring, and bandwidth-efficient (2*Delta-1)-edge-coloring
+  for the CONGEST and Bit-Round models.
+
+Quickstart::
+
+    from repro import delta_plus_one_coloring, graphgen
+
+    graph = graphgen.random_regular(n=96, d=8, seed=1)
+    result = delta_plus_one_coloring(graph)
+    assert result.num_colors <= graph.max_degree + 1
+    print(result.total_rounds, "rounds")
+"""
+
+from repro import analysis, apps, arboricity, bitround, graphgen, lowmem, trace
+from repro.core import (
+    AdditiveGroupColoring,
+    AdditiveGroupZN,
+    ArbAGColoring,
+    ExactDeltaPlusOneHybrid,
+    StandardColorReduction,
+    ThreeDimensionalAG,
+    delta_plus_one_coloring,
+    delta_plus_one_exact_no_reduction,
+    one_plus_eps_delta_coloring,
+    sublinear_delta_plus_one_coloring,
+)
+from repro.baselines import KuhnWattenhoferReduction, greedy_coloring
+from repro.linial import LinialColoring
+from repro.mathutil import log_star
+from repro.runtime import (
+    ColoringEngine,
+    ColoringPipeline,
+    DynamicGraph,
+    StaticGraph,
+    Visibility,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdditiveGroupColoring",
+    "ThreeDimensionalAG",
+    "AdditiveGroupZN",
+    "ExactDeltaPlusOneHybrid",
+    "ArbAGColoring",
+    "StandardColorReduction",
+    "KuhnWattenhoferReduction",
+    "LinialColoring",
+    "delta_plus_one_coloring",
+    "delta_plus_one_exact_no_reduction",
+    "one_plus_eps_delta_coloring",
+    "sublinear_delta_plus_one_coloring",
+    "greedy_coloring",
+    "ColoringEngine",
+    "ColoringPipeline",
+    "StaticGraph",
+    "DynamicGraph",
+    "Visibility",
+    "log_star",
+    "analysis",
+    "apps",
+    "arboricity",
+    "bitround",
+    "graphgen",
+    "lowmem",
+    "trace",
+]

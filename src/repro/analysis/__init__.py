@@ -1,0 +1,38 @@
+"""Verification utilities: the executable forms of the paper's definitions.
+
+Every guarantee the paper states — proper colorings, defective and
+arbdefective colorings, MIS/MM validity, palette sizes — has a checker here
+that tests and benchmarks call after (and during) runs.
+"""
+
+from repro.analysis.invariants import (
+    arbdefect_upper_bound,
+    arboricity_bounds,
+    coloring_defect,
+    count_colors,
+    edge_coloring_defect,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    is_proper_edge_coloring,
+    max_color,
+    monochromatic_edges,
+    nash_williams_lower_bound,
+    palette_histogram,
+)
+
+__all__ = [
+    "is_proper_coloring",
+    "monochromatic_edges",
+    "count_colors",
+    "max_color",
+    "coloring_defect",
+    "arbdefect_upper_bound",
+    "arboricity_bounds",
+    "nash_williams_lower_bound",
+    "palette_histogram",
+    "is_proper_edge_coloring",
+    "edge_coloring_defect",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+]

@@ -1,0 +1,240 @@
+"""Checkers for colorings, independent sets, and matchings.
+
+Definitions follow Section 2 of the paper:
+
+* a coloring is *proper* if no edge is monochromatic;
+* a *d-defective p-coloring* allows each vertex up to ``d`` same-colored
+  neighbors;
+* a *b-arbdefective p-coloring* requires every color class to induce a
+  subgraph of arboricity at most ``b``.  Arboricity is expensive to compute
+  exactly, so :func:`arbdefect_upper_bound` reports each class's degeneracy,
+  which sandwiches arboricity (``arboricity <= degeneracy <= 2*arboricity - 1``
+  for nonempty graphs) — exactly the right tool for asserting the O(p) bound
+  of Lemma 6.2.
+"""
+
+from collections import defaultdict
+
+__all__ = [
+    "is_proper_coloring",
+    "monochromatic_edges",
+    "count_colors",
+    "max_color",
+    "coloring_defect",
+    "class_degeneracy",
+    "arbdefect_upper_bound",
+    "is_proper_edge_coloring",
+    "edge_coloring_defect",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "nash_williams_lower_bound",
+    "palette_histogram",
+    "arboricity_bounds",
+]
+
+
+def monochromatic_edges(graph, colors):
+    """Return the list of edges whose endpoints share a color."""
+    return [(u, v) for u, v in graph.edges if colors[u] == colors[v]]
+
+
+def is_proper_coloring(graph, colors):
+    """Return True iff no edge is monochromatic."""
+    return all(colors[u] != colors[v] for u, v in graph.edges)
+
+
+def count_colors(colors):
+    """Return the number of distinct colors used."""
+    return len(set(colors))
+
+
+def max_color(colors):
+    """Return the largest color value (colorings over int palettes)."""
+    return max(colors) if len(colors) else 0
+
+
+def coloring_defect(graph, colors):
+    """Return the defect: the max number of same-colored neighbors of any vertex.
+
+    A proper coloring has defect 0; a d-defective coloring has defect <= d.
+    """
+    worst = 0
+    for v in graph.vertices():
+        same = sum(1 for u in graph.neighbors(v) if colors[u] == colors[v])
+        worst = max(worst, same)
+    return worst
+
+
+def _degeneracy(n_vertices, adjacency):
+    """Degeneracy of the graph given as {vertex: set(neighbors)}."""
+    if n_vertices == 0:
+        return 0
+    degrees = {v: len(neighbors) for v, neighbors in adjacency.items()}
+    buckets = defaultdict(set)
+    for v, d in degrees.items():
+        buckets[d].add(v)
+    removed = set()
+    degeneracy = 0
+    for _ in range(n_vertices):
+        d = 0
+        while not buckets.get(d):
+            d += 1
+        v = buckets[d].pop()
+        degeneracy = max(degeneracy, d)
+        removed.add(v)
+        for u in adjacency[v]:
+            if u in removed:
+                continue
+            buckets[degrees[u]].discard(u)
+            degrees[u] -= 1
+            buckets[degrees[u]].add(u)
+    return degeneracy
+
+
+def class_degeneracy(graph, colors):
+    """Return ``{color: degeneracy of the induced class subgraph}``.
+
+    Degeneracy upper-bounds arboricity within a factor < 2, so this is the
+    practical arbdefect measure.
+    """
+    classes = defaultdict(list)
+    for v in graph.vertices():
+        classes[colors[v]].append(v)
+    result = {}
+    for color, members in classes.items():
+        member_set = set(members)
+        adjacency = {
+            v: {u for u in graph.neighbors(v) if u in member_set} for v in members
+        }
+        result[color] = _degeneracy(len(members), adjacency)
+    return result
+
+
+def arbdefect_upper_bound(graph, colors):
+    """Return the max class degeneracy: an upper bound proxy for arbdefect.
+
+    ``arboricity(H) <= degeneracy(H)`` for every graph ``H``, hence a coloring
+    whose classes all have degeneracy <= b is b-arbdefective.
+    """
+    per_class = class_degeneracy(graph, colors)
+    return max(per_class.values()) if per_class else 0
+
+
+def is_proper_edge_coloring(graph, edge_colors):
+    """Return True iff no two incident edges share a color.
+
+    ``edge_colors`` maps each edge ``(u, v)`` with ``u < v`` to a color.
+    """
+    for v in graph.vertices():
+        seen = set()
+        for u in graph.neighbors(v):
+            e = (v, u) if v < u else (u, v)
+            c = edge_colors[e]
+            if c in seen:
+                return False
+            seen.add(c)
+    return True
+
+
+def edge_coloring_defect(graph, edge_colors):
+    """Max number of same-colored incident edges over all (edge, endpoint) pairs.
+
+    Kuhn's orientation-based first stage of Section 5 promises defect 2 in the
+    line graph: at each endpoint, at most one *other* incident edge shares the
+    color.  This function returns the max count of other same-colored edges
+    incident to either endpoint of any edge.
+    """
+    worst = 0
+    for v in graph.vertices():
+        by_color = defaultdict(int)
+        for u in graph.neighbors(v):
+            e = (v, u) if v < u else (u, v)
+            by_color[edge_colors[e]] += 1
+        for count in by_color.values():
+            worst = max(worst, count - 1)
+    return worst
+
+
+def is_maximal_independent_set(graph, members):
+    """Return True iff ``members`` (a set of vertices) is an MIS.
+
+    Independence: no edge inside.  Maximality: every non-member has a member
+    neighbor.
+    """
+    member_set = set(members)
+    for u, v in graph.edges:
+        if u in member_set and v in member_set:
+            return False
+    for v in graph.vertices():
+        if v in member_set:
+            continue
+        if not any(u in member_set for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def is_maximal_matching(graph, matched_edges):
+    """Return True iff ``matched_edges`` is a maximal matching.
+
+    No two matched edges share an endpoint, and every unmatched edge is
+    incident to a matched one.
+    """
+    matched = {tuple(sorted(e)) for e in matched_edges}
+    saturated = set()
+    for u, v in matched:
+        if not graph.has_edge(u, v):
+            return False
+        if u in saturated or v in saturated:
+            return False
+        saturated.add(u)
+        saturated.add(v)
+    for u, v in graph.edges:
+        if (u, v) not in matched and u not in saturated and v not in saturated:
+            return False
+    return True
+
+
+def nash_williams_lower_bound(graph):
+    """A lower bound on arboricity: ceil(m / (n - 1)) on the whole graph.
+
+    Nash-Williams: arboricity = max over subgraphs H of
+    ceil(m_H / (n_H - 1)); the whole graph gives a cheap lower bound that
+    complements the degeneracy upper bound of :func:`arbdefect_upper_bound`.
+    """
+    if graph.n <= 1 or graph.m == 0:
+        return 0
+    return -(-graph.m // (graph.n - 1))
+
+
+def palette_histogram(colors):
+    """Return ``{color: count}`` — the class sizes of a coloring."""
+    histogram = {}
+    for color in colors:
+        histogram[color] = histogram.get(color, 0) + 1
+    return histogram
+
+
+def arboricity_bounds(graph, colors=None):
+    """Return ``(lower, upper)`` bounds on arboricity.
+
+    With ``colors`` given, bounds the *arbdefect* instead: the max over color
+    classes of that class's bounds.
+    """
+    if colors is None:
+        adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+        upper = _degeneracy(graph.n, adjacency)
+        return nash_williams_lower_bound(graph), upper
+    per_class = class_degeneracy(graph, colors)
+    upper = max(per_class.values()) if per_class else 0
+    lower = 0
+    classes = {}
+    for v in graph.vertices():
+        classes.setdefault(colors[v], []).append(v)
+    for members in classes.values():
+        member_set = set(members)
+        m_class = sum(
+            1 for u, v in graph.edges if u in member_set and v in member_set
+        )
+        if len(members) > 1 and m_class:
+            lower = max(lower, -(-m_class // (len(members) - 1)))
+    return lower, upper

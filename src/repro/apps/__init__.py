@@ -1,0 +1,24 @@
+"""Classical symmetry-breaking applications built on the coloring core.
+
+A proper C-coloring yields an MIS in C extra rounds (color classes join in
+color order — exactly the reduction the self-stabilizing Section 4.2 runs
+forever), and an edge coloring yields a maximal matching the same way on the
+line graph.  With the paper's O(Delta + log* n) colorings these give
+O(Delta + log* n) MIS and maximal matching, locally-iterative end to end.
+"""
+
+from repro.apps.mis import MISResult, locally_iterative_mis, mis_from_coloring
+from repro.apps.matching import (
+    MatchingResult,
+    locally_iterative_maximal_matching,
+    matching_from_edge_coloring,
+)
+
+__all__ = [
+    "MISResult",
+    "mis_from_coloring",
+    "locally_iterative_mis",
+    "MatchingResult",
+    "matching_from_edge_coloring",
+    "locally_iterative_maximal_matching",
+]

@@ -1,0 +1,22 @@
+"""Bounded-arboricity machinery (the Barenboim–Elkin H-partition).
+
+ArbAG's output (Section 6) is a coloring whose classes have arboricity
+``O(p)`` — and the classical consumer of bounded arboricity is the
+H-partition of Barenboim–Elkin (PODC'08): peel vertices of degree at most
+``(2 + eps) * a`` repeatedly; ``O(log n)`` layers result, and orienting
+every edge towards the lower layer (ties towards the higher ID) gives an
+acyclic orientation with out-degree at most ``(2 + eps) * a``, from which a
+``(2 + eps) * a + 1``-coloring follows greedily along the orientation.
+
+This package provides that machinery both standalone (a useful library
+feature for any low-arboricity workload) and as the alternative
+class-completion backend for the Theorem 6.4 pipelines.
+"""
+
+from repro.arboricity.hpartition import (
+    HPartition,
+    arboricity_coloring,
+    h_partition,
+)
+
+__all__ = ["HPartition", "h_partition", "arboricity_coloring"]

@@ -1,0 +1,145 @@
+"""H-partition and arboricity-based coloring (Barenboim–Elkin, PODC'08).
+
+Nash-Williams: a graph of arboricity ``a`` has at most ``a * (n - 1)``
+edges, so *some* vertex has degree below ``2a`` — in fact at least an
+``eps / (2 + eps)`` fraction have degree at most ``(2 + eps) * a``.  Peeling
+those repeatedly partitions ``V`` into ``O(log n)`` layers ``H_1, ..., H_l``
+(one synchronous round each: a vertex only needs its remaining degree).
+
+Orient every edge from its lower-layer endpoint to the higher-layer one
+(ties: towards the higher index).  Every vertex's out-neighbors lie in its
+own or later layers, i.e. they were *not yet peeled* when it was — at most
+``(2 + eps) * a`` of them.  The order (layer, index) is total, so the
+orientation is acyclic, and greedy coloring along it needs only
+``floor((2 + eps) * a) + 1`` colors.
+"""
+
+from repro.analysis.invariants import _degeneracy
+
+__all__ = ["HPartition", "h_partition", "arboricity_coloring"]
+
+
+class HPartition:
+    """The layers and the induced orientation.
+
+    Attributes
+    ----------
+    layers:
+        ``layers[i]`` = the vertex list peeled in round ``i``.
+    layer_of:
+        Per-vertex layer index.
+    out_neighbors:
+        The acyclic orientation: ``out_neighbors[v]`` are v's neighbors in
+        strictly later layers, or the same layer with a larger index.
+    out_degree_bound:
+        The proven cap ``floor((2 + eps) * a)``.
+    rounds:
+        Peeling rounds consumed (= number of layers): O(log n).
+    """
+
+    def __init__(self, layers, layer_of, out_neighbors, out_degree_bound):
+        self.layers = layers
+        self.layer_of = layer_of
+        self.out_neighbors = out_neighbors
+        self.out_degree_bound = out_degree_bound
+
+    @property
+    def rounds(self):
+        """Peeling rounds consumed (= number of layers)."""
+        return len(self.layers)
+
+    def __repr__(self):
+        return "HPartition(layers=%d, out_degree_bound=%d)" % (
+            len(self.layers),
+            self.out_degree_bound,
+        )
+
+
+def _default_arboricity_bound(graph):
+    """Degeneracy: a certified upper bound on arboricity (within 2x)."""
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    return max(1, _degeneracy(graph.n, adjacency))
+
+
+def h_partition(graph, arboricity_bound=None, eps=1.0):
+    """Compute the H-partition; returns an :class:`HPartition`.
+
+    ``arboricity_bound`` defaults to the graph's degeneracy (a safe,
+    locally-computable-in-theory stand-in for ``a``); ``eps > 0`` trades the
+    degree threshold against the number of layers.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if arboricity_bound is None:
+        arboricity_bound = _default_arboricity_bound(graph)
+    if arboricity_bound < 1:
+        raise ValueError("arboricity bound must be >= 1")
+    threshold = int((2 + eps) * arboricity_bound)
+
+    remaining = set(graph.vertices())
+    degree = {v: graph.degree(v) for v in remaining}
+    layers = []
+    layer_of = {}
+    while remaining:
+        peeled = [v for v in remaining if degree[v] <= threshold]
+        if not peeled:
+            raise AssertionError(
+                "peeling stalled: the arboricity bound %d is too small"
+                % arboricity_bound
+            )
+        for v in peeled:
+            layer_of[v] = len(layers)
+        layers.append(sorted(peeled))
+        remaining.difference_update(peeled)
+        for v in peeled:
+            for u in graph.neighbors(v):
+                if u in remaining:
+                    degree[u] -= 1
+
+    out_neighbors = []
+    for v in graph.vertices():
+        outs = [
+            u
+            for u in graph.neighbors(v)
+            if (layer_of[u], u) > (layer_of[v], v)
+        ]
+        out_neighbors.append(outs)
+    return HPartition(layers, layer_of, out_neighbors, threshold)
+
+
+def arboricity_coloring(graph, arboricity_bound=None, eps=1.0):
+    """Proper coloring with ``floor((2+eps)*a) + 1`` colors via the H-partition.
+
+    Returns ``(colors, partition, rounds)`` where ``rounds`` counts the
+    peeling rounds plus the act-when-out-neighbors-colored sweeps of the
+    greedy phase (each a synchronous round in the simulated network).
+    """
+    partition = h_partition(graph, arboricity_bound, eps)
+    n = graph.n
+    palette = partition.out_degree_bound + 1
+    colors = [None] * n
+    remaining = set(range(n))
+    greedy_rounds = 0
+    while remaining:
+        acting = [
+            v
+            for v in remaining
+            if all(colors[u] is not None for u in partition.out_neighbors[v])
+        ]
+        if not acting:
+            raise AssertionError("orientation is cyclic — cannot happen")
+        for v in acting:
+            taken = {colors[u] for u in partition.out_neighbors[v]}
+            color = 0
+            while color in taken:
+                color += 1
+            if color >= palette:
+                raise AssertionError(
+                    "out-degree exceeded the (2+eps)a bound — cannot happen"
+                )
+            colors[v] = color
+        remaining.difference_update(acting)
+        greedy_rounds += 1
+    # Properness: for any edge one endpoint is the other's out-neighbor and
+    # acted later, avoiding the earlier one's color.
+    return colors, partition, partition.rounds + greedy_rounds

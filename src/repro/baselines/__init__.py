@@ -1,0 +1,35 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.kuhn_wattenhofer` — the O(Delta log Delta)
+  locally-iterative color reduction of Szegedy–Vishwanathan / Kuhn–
+  Wattenhofer: the best locally-iterative bound *before* this paper, i.e.
+  the Szegedy–Vishwanathan barrier itself (Table 1 row 2).
+* :mod:`repro.baselines.greedy` — the centralized sequential greedy
+  (Delta+1)-coloring, used as a correctness oracle in tests.
+* ``repro.core.reductions.StandardColorReduction`` — together with Linial it
+  forms the O(Delta^2 + log* n) row of Table 1.
+* :mod:`repro.baselines.selfstab_rank` — a classical O(n)-stabilization
+  self-stabilizing coloring in the style surveyed by Guellati–Kheddouci
+  [29], the point of comparison for Theorem 4.3.
+"""
+
+from repro.baselines.kuhn_wattenhofer import KuhnWattenhoferReduction
+from repro.baselines.greedy import greedy_coloring
+from repro.baselines.selfstab_rank import RankGreedySelfStabColoring
+from repro.baselines.bek import BEKResult, bek_delta_plus_one
+from repro.baselines.randomized import (
+    RandomTrialSelfStabColoring,
+    luby_mis,
+    random_trial_coloring,
+)
+
+__all__ = [
+    "KuhnWattenhoferReduction",
+    "greedy_coloring",
+    "RankGreedySelfStabColoring",
+    "BEKResult",
+    "bek_delta_plus_one",
+    "luby_mis",
+    "random_trial_coloring",
+    "RandomTrialSelfStabColoring",
+]

@@ -1,0 +1,26 @@
+"""Centralized sequential greedy coloring — the correctness oracle.
+
+Not a distributed algorithm: it exists so tests can compare distributed
+results against the classical guarantee that greedy in any order uses at
+most Delta + 1 colors.
+"""
+
+__all__ = ["greedy_coloring"]
+
+
+def greedy_coloring(graph, order=None):
+    """Greedy (Delta+1)-coloring in the given vertex order (default: 0..n-1).
+
+    Returns a list of colors in ``range(Delta + 1)``.
+    """
+    n = graph.n
+    if order is None:
+        order = range(n)
+    colors = [None] * n
+    for v in order:
+        taken = {colors[u] for u in graph.neighbors(v) if colors[u] is not None}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[v] = color
+    return colors

@@ -1,0 +1,83 @@
+"""The Kuhn–Wattenhofer / Szegedy–Vishwanathan color reduction.
+
+This is the locally-iterative state of the art the paper supersedes — the
+``O(Delta log Delta + log* n)`` bound of Table 1 — included both as a
+benchmark baseline and because its structure explains the SV barrier: each
+*halving* of the palette costs ``Theta(Delta)`` rounds, and ``log Delta``
+halvings separate ``Delta^2`` from ``Delta + 1``.
+
+One halving iteration: partition the palette ``[m]`` into blocks of
+``2 * (Delta + 1)`` consecutive colors.  All blocks in parallel run the
+standard color reduction *inside the block* (``Delta + 1`` sub-rounds, each
+eliminating the block's top color), compressing each block to ``Delta + 1``
+colors.  At the end of the iteration colors are renumbered into
+``ceil(m / (2N)) * N`` consecutive values, i.e. roughly ``m / 2``.
+
+The rule is round-dependent (each sub-round activates one color class per
+block) but still locally-iterative, and it runs in SET-LOCAL since only the
+set of neighbor colors matters.
+"""
+
+from repro.runtime.algorithm import LocallyIterativeColoring
+
+__all__ = ["KuhnWattenhoferReduction"]
+
+
+class KuhnWattenhoferReduction(LocallyIterativeColoring):
+    """Proper ``m``-coloring to ``Delta+1`` in ``O(Delta log(m / Delta))`` rounds."""
+
+    name = "kuhn-wattenhofer"
+    maintains_proper = True
+    uniform_step = False
+
+    def __init__(self):
+        super().__init__()
+        self.block = None  # N = Delta + 1: the post-halving block palette
+        self.palette_schedule = None  # palette size at the start of iteration i
+
+    def configure(self, info):
+        super().configure(info)
+        n_colors = info.max_degree + 1
+        self.block = n_colors
+        schedule = [max(info.in_palette_size, n_colors)]
+        while schedule[-1] > n_colors:
+            m = schedule[-1]
+            blocks = -(-m // (2 * n_colors))  # ceil division
+            schedule.append(min(m, blocks * n_colors))
+            if schedule[-1] == schedule[-2]:
+                # m <= 2N compresses to N directly.
+                schedule[-1] = n_colors
+        self.palette_schedule = schedule
+
+    @property
+    def out_palette_size(self):
+        self._require_configured()
+        return self.block
+
+    @property
+    def rounds_bound(self):
+        """(#iterations) * N sub-rounds: Theta(Delta log(m / Delta))."""
+        self._require_configured()
+        return (len(self.palette_schedule) - 1) * self.block
+
+    def step(self, round_index, color, neighbor_colors):
+        n_colors = self.block
+        iteration = round_index // n_colors
+        sub_round = round_index % n_colors
+        if iteration >= len(self.palette_schedule) - 1:
+            return color
+
+        two_n = 2 * n_colors
+        block_index, local = divmod(color, two_n)
+        acting_local = two_n - 1 - sub_round
+        if local == acting_local and local >= n_colors:
+            base = block_index * two_n
+            taken = {c - base for c in neighbor_colors if base <= c < base + two_n}
+            local = min(c for c in range(n_colors) if c not in taken)
+        if sub_round == n_colors - 1:
+            # End of the iteration: renumber into compact N-sized blocks.
+            return block_index * n_colors + local
+        return block_index * two_n + local
+
+    def is_final(self, color):
+        return False  # progress is schedule-driven; run the full bound

@@ -1,0 +1,155 @@
+"""Randomized baselines, and why the paper insists on determinism.
+
+The classical randomized symmetry breakers converge in ``O(log n)`` rounds
+with high probability:
+
+* :func:`luby_mis` — Luby's MIS: every round, undecided vertices draw a
+  random priority; local maxima join, neighbors of joiners leave.
+* :func:`random_trial_coloring` — trial coloring: every round, uncolored
+  vertices propose a uniformly random color from their free palette and keep
+  it if no neighbor proposed the same.
+
+Both are *incomparable* to the paper's deterministic ``f(Delta) + log* n``
+bounds (faster for huge Delta, slower for small), and — the paper's §1.2.1
+point — they are fragile in the self-stabilizing setting: random bits must
+live somewhere, and if the generator state sits in fault-prone RAM, "this
+prevents the possibility that adversarial faults will manipulate random bits
+of the algorithm" fails.  :class:`RandomTrialSelfStabColoring` makes that
+executable: its PRNG state is RAM, and a single fault that clones one
+vertex's ``(color, rng_state)`` onto a neighbor creates two vertices that
+flip *identical* coins forever — a permanent symmetric deadlock that no
+amount of fault-free time repairs.  The paper's deterministic algorithms
+break the same symmetry instantly through their ROM-resident IDs.
+"""
+
+import random
+
+from repro.selfstab.engine import SelfStabAlgorithm
+
+__all__ = ["luby_mis", "random_trial_coloring", "RandomTrialSelfStabColoring"]
+
+
+def luby_mis(graph, seed, max_rounds=None):
+    """Luby's randomized MIS; returns ``(members, rounds)``."""
+    rng = random.Random(seed)
+    undecided = set(graph.vertices())
+    members = set()
+    rounds = 0
+    cap = max_rounds or (8 * max(1, graph.n).bit_length() + 40)
+    while undecided and rounds < cap:
+        priority = {v: rng.random() for v in undecided}
+        joiners = {
+            v
+            for v in undecided
+            if all(
+                u not in undecided or priority[v] > priority[u]
+                for u in graph.neighbors(v)
+            )
+        }
+        members.update(joiners)
+        removed = set(joiners)
+        for v in joiners:
+            removed.update(u for u in graph.neighbors(v) if u in undecided)
+        undecided.difference_update(removed)
+        rounds += 1
+    if undecided:
+        raise RuntimeError("Luby did not converge within %d rounds" % cap)
+    return members, rounds
+
+
+def random_trial_coloring(graph, seed, palette=None, max_rounds=None):
+    """Randomized trial (Delta+1)-coloring; returns ``(colors, rounds)``."""
+    rng = random.Random(seed)
+    if palette is None:
+        palette = graph.max_degree + 1
+    colors = [None] * graph.n
+    rounds = 0
+    cap = max_rounds or (8 * max(1, graph.n).bit_length() + 40)
+    while any(c is None for c in colors) and rounds < cap:
+        proposals = {}
+        for v in graph.vertices():
+            if colors[v] is not None:
+                continue
+            taken = {colors[u] for u in graph.neighbors(v) if colors[u] is not None}
+            free = [c for c in range(palette) if c not in taken]
+            proposals[v] = rng.choice(free)
+        for v, proposal in proposals.items():
+            clash = any(
+                proposals.get(u) == proposal or colors[u] == proposal
+                for u in graph.neighbors(v)
+            )
+            if not clash:
+                colors[v] = proposal
+        rounds += 1
+    if any(c is None for c in colors):
+        raise RuntimeError("trial coloring did not converge within %d rounds" % cap)
+    return colors, rounds
+
+
+class RandomTrialSelfStabColoring(SelfStabAlgorithm):
+    """Self-stabilizing trial coloring whose PRNG state lives in RAM.
+
+    RAM: ``(color, rng_counter, rng_salt)``.  A vertex in conflict re-draws
+    a free color pseudo-randomly from ``hash((salt, counter, color))`` and
+    increments the counter — note the draw deliberately involves *no ROM
+    identity*: all its entropy (the salt) is fault-prone RAM, exactly the
+    design the paper warns about.  With distinct salts the algorithm
+    converges quickly (coin flips are independent); but one fault that
+    clones a vertex's RAM onto a neighbor makes the pair flip *identical*
+    coins forever — a permanent symmetric deadlock no amount of fault-free
+    time repairs.
+    """
+
+    name = "selfstab-random-trial"
+
+    def __init__(self, n_bound, delta_bound):
+        super().__init__(n_bound, delta_bound)
+        self.palette = delta_bound + 1
+
+    def fresh_ram(self, vertex):
+        return (0, 0, vertex)  # color, rng counter, rng salt (RAM entropy)
+
+    def visible(self, vertex, ram):
+        return ram
+
+    @staticmethod
+    def _sanitize(ram):
+        if (
+            isinstance(ram, tuple)
+            and len(ram) == 3
+            and all(isinstance(field, int) for field in ram)
+        ):
+            return ram
+        return (0, 0, 0)
+
+    def transition(self, vertex, ram, neighbor_visibles):
+        color, counter, salt = self._sanitize(ram)
+        color %= self.palette
+        neighbor_colors = {
+            self._sanitize(nv)[0] % self.palette for nv in neighbor_visibles
+        }
+        if color not in neighbor_colors:
+            return (color, counter, salt)
+        # Conflicted: flip a RAM-seeded coin whether to act, then re-draw a
+        # free color from RAM-resident randomness only.  (hash of an int
+        # tuple is deterministic across processes.)
+        rng = random.Random(hash((salt, counter, color)))
+        if rng.random() < 0.5:
+            return (color, counter + 1, salt)  # stand still this round
+        free = [c for c in range(self.palette) if c not in neighbor_colors]
+        draw = free[rng.randrange(len(free))]
+        return (draw, counter + 1, salt)
+
+    def is_legal(self, graph, rams):
+        for v in graph.vertices():
+            color = self._sanitize(rams.get(v))[0] % self.palette
+            for u in graph.neighbors(v):
+                if self._sanitize(rams[u])[0] % self.palette == color:
+                    return False
+        return True
+
+    def final_colors(self, graph, rams):
+        """Colors in ``[0, Delta]`` extracted from the RAM states."""
+        return {
+            v: self._sanitize(rams[v])[0] % self.palette for v in graph.vertices()
+        }

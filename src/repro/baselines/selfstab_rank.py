@@ -1,0 +1,61 @@
+"""A classical O(n)-stabilization self-stabilizing coloring baseline.
+
+Representative of the pre-paper state of the art surveyed by Guellati and
+Kheddouci [29]: on a conflict, the lower-ID endpoint yields and greedily
+picks the smallest color absent from its neighborhood.  Correct, simple —
+and slow: a single fault at the head of a path can trigger a linear cascade
+of recolorings, so stabilization time is Theta(n) in the worst case.  The
+self-stabilization benchmarks race it against the paper's
+O(Delta + log* n) algorithms.
+"""
+
+from repro.selfstab.engine import SelfStabAlgorithm
+
+__all__ = ["RankGreedySelfStabColoring"]
+
+
+class RankGreedySelfStabColoring(SelfStabAlgorithm):
+    """Conflict -> lower-ID endpoint re-picks greedily. Theta(n) stabilization."""
+
+    name = "selfstab-rank-greedy"
+
+    def __init__(self, n_bound, delta_bound):
+        super().__init__(n_bound, delta_bound)
+        self.palette = delta_bound + 1
+
+    def fresh_ram(self, vertex):
+        return 0
+
+    def visible(self, vertex, ram):
+        # Broadcast (id, color); IDs are ROM so they are always truthful.
+        return (vertex, ram if isinstance(ram, int) else -1)
+
+    def transition(self, vertex, ram, neighbor_visibles):
+        color = ram if isinstance(ram, int) and 0 <= ram < self.palette else -1
+        conflict_with_higher = any(
+            c == color and other_id > vertex for other_id, c in neighbor_visibles
+        )
+        if color == -1 or conflict_with_higher:
+            taken = {c for _, c in neighbor_visibles}
+            for candidate in range(self.palette):
+                if candidate not in taken:
+                    return candidate
+        return color
+
+    def is_legal(self, graph, rams):
+        for v in graph.vertices():
+            color = rams.get(v)
+            if not isinstance(color, int) or not (0 <= color < self.palette):
+                return False
+        for v in graph.vertices():
+            for u in graph.neighbors(v):
+                if rams[u] == rams[v]:
+                    return False
+        return True
+
+    def final_colors(self, graph, rams):
+        """Colors in ``[0, Delta]`` extracted from a legal state."""
+        return {v: rams[v] for v in graph.vertices()}
+
+    def stabilization_bound(self):
+        return 4 * self.n_bound + 16

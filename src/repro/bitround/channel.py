@@ -1,0 +1,100 @@
+"""Bit-serialized full-duplex edge channels.
+
+Each directed edge carries a FIFO of pending bits; one synchronous bit-round
+delivers exactly one bit per direction per edge (idle directions deliver
+nothing).  Senders enqueue whole bit strings; receivers read fully-delivered
+prefixes.  The network counts global bit-rounds — the Bit-Round model's time
+measure — and refuses anything that is not a bit.
+"""
+
+from collections import deque
+
+__all__ = ["BitChannelNetwork", "ChannelViolationError"]
+
+
+class ChannelViolationError(RuntimeError):
+    """A protocol attempted a non-bit transmission."""
+
+
+class BitChannelNetwork:
+    """One-bit-per-edge-per-round message fabric over a StaticGraph."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.bit_rounds = 0
+        # (sender, receiver) -> pending bits / delivered bits.
+        self._pending = {}
+        self._delivered = {}
+        for u, v in graph.edges:
+            for direction in ((u, v), (v, u)):
+                self._pending[direction] = deque()
+                self._delivered[direction] = deque()
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, sender, receiver, bits):
+        """Enqueue a bit string (e.g. ``"1011"``) from sender to receiver."""
+        key = (sender, receiver)
+        if key not in self._pending:
+            raise ChannelViolationError(
+                "no channel from %r to %r" % (sender, receiver)
+            )
+        for bit in bits:
+            if bit not in "01":
+                raise ChannelViolationError("non-bit payload %r" % (bit,))
+            self._pending[key].append(bit)
+
+    def broadcast(self, sender, bits):
+        """Send the same bit string to every neighbor."""
+        for neighbor in self.graph.neighbors(sender):
+            self.send(sender, neighbor, bits)
+
+    # -- rounds ------------------------------------------------------------------
+
+    def tick(self):
+        """One bit-round: deliver at most one bit per direction."""
+        for key, queue in self._pending.items():
+            if queue:
+                self._delivered[key].append(queue.popleft())
+        self.bit_rounds += 1
+
+    def drain(self):
+        """Run bit-rounds until every queue is empty; return rounds used."""
+        used = 0
+        while any(queue for queue in self._pending.values()):
+            self.tick()
+            used += 1
+        return used
+
+    # -- receiving ---------------------------------------------------------------
+
+    def receive(self, receiver, sender, count):
+        """Consume exactly ``count`` delivered bits from sender's stream.
+
+        Raises if fewer bits have arrived — a protocol logic error (reading
+        ahead of the channel).
+        """
+        key = (sender, receiver)
+        delivered = self._delivered[key]
+        if len(delivered) < count:
+            raise ChannelViolationError(
+                "receiver %r expected %d bits from %r, only %d delivered"
+                % (receiver, count, sender, len(delivered))
+            )
+        return "".join(delivered.popleft() for _ in range(count))
+
+    def delivered_count(self, receiver, sender):
+        """Bits delivered from sender and not yet consumed by receiver."""
+        return len(self._delivered[(sender, receiver)])
+
+
+def encode_int(value, width):
+    """Fixed-width big-endian binary encoding."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError("value %d does not fit in %d bits" % (value, width))
+    return format(value, "0%db" % width)
+
+
+def decode_int(bits):
+    """Parse a big-endian binary string (empty -> 0)."""
+    return int(bits, 2) if bits else 0

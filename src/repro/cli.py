@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-coloring color --family regular --n 96 --degree 8 --algorithm exact
+    repro-coloring color --family gnp --n 80 --prob 0.1 --set-local
+    repro-coloring edge-color --family regular --n 64 --degree 6
+    repro-coloring mis --family grid --rows 8 --cols 9
+    repro-coloring selfstab --n 40 --delta 6 --corruptions 12 --churn 2
+"""
+
+import argparse
+import sys
+
+from repro import graphgen
+from repro.analysis import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    is_proper_edge_coloring,
+)
+from repro.apps import locally_iterative_maximal_matching, locally_iterative_mis
+from repro.core.pipeline import (
+    delta_plus_one_coloring,
+    delta_plus_one_exact_no_reduction,
+    one_plus_eps_delta_coloring,
+)
+from repro.edge import edge_coloring_congest
+from repro.mathutil import log_star
+from repro.runtime import Visibility
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_graph_arguments(parser):
+    parser.add_argument(
+        "--family",
+        choices=["regular", "gnp", "cycle", "path", "grid", "unit-disk", "tree"],
+        default="regular",
+        help="workload graph family",
+    )
+    parser.add_argument("--n", type=int, default=64, help="number of vertices")
+    parser.add_argument("--degree", type=int, default=6, help="degree (regular)")
+    parser.add_argument("--prob", type=float, default=0.1, help="edge prob (gnp)")
+    parser.add_argument("--rows", type=int, default=8, help="grid rows")
+    parser.add_argument("--cols", type=int, default=8, help="grid cols")
+    parser.add_argument("--radius", type=float, default=0.15, help="unit-disk radius")
+    parser.add_argument("--seed", type=int, default=1, help="generator seed")
+
+
+def _build_graph(args):
+    if args.family == "regular":
+        return graphgen.random_regular(args.n, args.degree, seed=args.seed)
+    if args.family == "gnp":
+        return graphgen.gnp_graph(args.n, args.prob, seed=args.seed)
+    if args.family == "cycle":
+        return graphgen.cycle_graph(args.n)
+    if args.family == "path":
+        return graphgen.path_graph(args.n)
+    if args.family == "grid":
+        return graphgen.grid_graph(args.rows, args.cols)
+    if args.family == "unit-disk":
+        return graphgen.unit_disk_graph(args.n, args.radius, seed=args.seed)
+    if args.family == "tree":
+        return graphgen.random_tree(args.n, seed=args.seed)
+    raise ValueError("unknown family %r" % args.family)
+
+
+def _cmd_color(args, out):
+    graph = _build_graph(args)
+    visibility = Visibility.SET_LOCAL if args.set_local else None
+    if args.algorithm == "cor36":
+        result = delta_plus_one_coloring(graph, visibility=visibility)
+        colors, rounds = result.colors, result.rounds_by_stage()
+    elif args.algorithm == "exact":
+        result = delta_plus_one_exact_no_reduction(graph, visibility=visibility)
+        colors, rounds = result.colors, result.rounds_by_stage()
+    else:  # sublinear
+        result = one_plus_eps_delta_coloring(graph)
+        colors, rounds = result.colors, result.stage_rounds
+    assert is_proper_coloring(graph, colors)
+    if args.json:
+        import json
+
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+        return 0
+    out.write(
+        "graph: n=%d m=%d Delta=%d (log* n = %d)\n"
+        % (graph.n, graph.m, graph.max_degree, log_star(graph.n))
+    )
+    out.write("colors used: %d\n" % len(set(colors)))
+    out.write("max color:   %d\n" % (max(colors) if colors else 0))
+    for stage, r in rounds.items():
+        out.write("rounds[%s] = %d\n" % (stage, r))
+    out.write("total rounds: %d\n" % sum(rounds.values()))
+    return 0
+
+
+def _cmd_edge_color(args, out):
+    graph = _build_graph(args)
+    result = edge_coloring_congest(graph, exact=not args.no_exact)
+    assert is_proper_edge_coloring(graph, result.edge_colors)
+    if args.json:
+        import json
+
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+        return 0
+    out.write(
+        "graph: n=%d m=%d Delta=%d\n" % (graph.n, graph.m, graph.max_degree)
+    )
+    out.write(
+        "edge colors: %d (palette %d, 2*Delta-1 = %d)\n"
+        % (result.num_colors, result.palette_size, max(1, 2 * graph.max_degree - 1))
+    )
+    out.write("CONGEST rounds: %d\n" % result.total_rounds)
+    out.write("bits per edge:  %d\n" % result.total_bits_per_edge)
+    out.write("max message:    %d bits\n" % result.max_message_bits)
+    return 0
+
+
+def _cmd_mis(args, out):
+    graph = _build_graph(args)
+    result = locally_iterative_mis(graph)
+    assert is_maximal_independent_set(graph, result.members)
+    out.write("graph: n=%d m=%d Delta=%d\n" % (graph.n, graph.m, graph.max_degree))
+    out.write("MIS size: %d\n" % len(result.members))
+    out.write("rounds: %d (coloring %d + sweep %d)\n"
+              % (result.total_rounds, result.coloring_rounds, result.sweep_rounds))
+    return 0
+
+
+def _cmd_matching(args, out):
+    graph = _build_graph(args)
+    result = locally_iterative_maximal_matching(graph)
+    assert is_maximal_matching(graph, result.edges)
+    out.write("graph: n=%d m=%d Delta=%d\n" % (graph.n, graph.m, graph.max_degree))
+    out.write("matching size: %d\n" % len(result.edges))
+    out.write("rounds: %d (edge coloring %d + sweep %d)\n"
+              % (result.total_rounds, result.coloring_rounds, result.sweep_rounds))
+    return 0
+
+
+def _cmd_trace(args, out):
+    from repro.core import (
+        AdditiveGroupColoring,
+        ExactDeltaPlusOneHybrid,
+        ThreeDimensionalAG,
+    )
+    from repro.runtime import ColoringEngine
+    from repro.trace import format_trace, trace_run
+
+    graph = _build_graph(args)
+    initial = list(range(graph.n))
+    palette = graph.n
+    if args.stage == "hybrid":
+        # The hybrid wants a near-(2 Delta)-sized palette: AG first.
+        engine = ColoringEngine(graph)
+        ag = AdditiveGroupColoring()
+        pre = engine.run(ag, initial)
+        initial, palette = pre.int_colors, ag.out_palette_size
+        stage = ExactDeltaPlusOneHybrid()
+    elif args.stage == "3ag":
+        stage = ThreeDimensionalAG()
+    else:
+        stage = AdditiveGroupColoring()
+    trace = trace_run(graph, stage, initial, in_palette_size=palette)
+    out.write(format_trace(trace, graph, title="%s stage" % args.stage) + "\n")
+    return 0
+
+
+def _cmd_selfstab(args, out):
+    import random
+
+    from repro.runtime.graph import DynamicGraph
+    from repro.selfstab import FaultCampaign, SelfStabEngine, SelfStabExactColoring
+
+    rng = random.Random(args.seed)
+    graph = DynamicGraph(args.n, args.delta)
+    for v in range(args.n):
+        graph.add_vertex(v)
+    for u in range(args.n):
+        for v in range(u + 1, args.n):
+            if (
+                rng.random() < args.prob
+                and graph.degree(u) < args.delta
+                and graph.degree(v) < args.delta
+            ):
+                graph.add_edge(u, v)
+
+    algorithm = SelfStabExactColoring(args.n, args.delta)
+    engine = SelfStabEngine(graph, algorithm)
+    rounds = engine.run_to_quiescence()
+    out.write("cold start: stabilized in %d rounds (bound budget %d)\n"
+              % (rounds, algorithm.stabilization_bound()))
+    campaign = FaultCampaign(args.seed)
+    for burst in range(args.bursts):
+        campaign.corrupt_random_rams(engine, args.corruptions)
+        if args.churn:
+            campaign.churn_edges(engine, removals=args.churn, additions=args.churn)
+        rounds = engine.run_to_quiescence()
+        out.write("burst %d: re-stabilized in %d rounds (legal: %s)\n"
+                  % (burst + 1, rounds, engine.is_legal()))
+    colors = algorithm.final_colors(graph, engine.rams)
+    palette = (max(colors.values()) + 1) if colors else 0
+    out.write("final palette: %d <= Delta+1 = %d\n" % (palette, args.delta + 1))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-coloring",
+        description="Locally-iterative distributed coloring (PODC'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    color = sub.add_parser("color", help="(Delta+1)-vertex-coloring")
+    _add_graph_arguments(color)
+    color.add_argument(
+        "--algorithm",
+        choices=["cor36", "exact", "sublinear"],
+        default="cor36",
+        help="cor36 = Linial+AG+reduction; exact = Section 7 hybrid; "
+        "sublinear = Theorem 6.4 arbdefective route",
+    )
+    color.add_argument(
+        "--set-local", action="store_true", help="run in the SET-LOCAL model"
+    )
+    color.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    color.set_defaults(func=_cmd_color)
+
+    edge = sub.add_parser("edge-color", help="(2*Delta-1)-edge-coloring (CONGEST)")
+    _add_graph_arguments(edge)
+    edge.add_argument(
+        "--no-exact", action="store_true", help="stop at O(Delta) colors"
+    )
+    edge.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    edge.set_defaults(func=_cmd_edge_color)
+
+    mis = sub.add_parser("mis", help="maximal independent set")
+    _add_graph_arguments(mis)
+    mis.set_defaults(func=_cmd_mis)
+
+    matching = sub.add_parser("matching", help="maximal matching")
+    _add_graph_arguments(matching)
+    matching.set_defaults(func=_cmd_matching)
+
+    trace = sub.add_parser("trace", help="round-by-round trace of the AG stage")
+    _add_graph_arguments(trace)
+    trace.add_argument(
+        "--stage",
+        choices=["ag", "3ag", "hybrid"],
+        default="ag",
+        help="which AG-family stage to trace",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    selfstab = sub.add_parser("selfstab", help="self-stabilizing coloring demo")
+    selfstab.add_argument("--n", type=int, default=40)
+    selfstab.add_argument("--delta", type=int, default=6)
+    selfstab.add_argument("--prob", type=float, default=0.15)
+    selfstab.add_argument("--seed", type=int, default=1)
+    selfstab.add_argument("--bursts", type=int, default=3)
+    selfstab.add_argument("--corruptions", type=int, default=10)
+    selfstab.add_argument("--churn", type=int, default=0)
+    selfstab.set_defaults(func=_cmd_selfstab)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Defective colorings — relaxed colorings that tolerate bounded conflicts.
+
+* :mod:`repro.defective.vertex` — the p-defective ``O((Delta/p)^2)``-vertex-
+  coloring in ``log* n + O(1)`` rounds (the role played by [BEK, SICOMP'14]
+  in Section 6), realized as Linial-style polynomial steps whose point
+  selection *minimizes* conflicts instead of forbidding them.
+* :mod:`repro.defective.kuhn_edge` — Kuhn's one-round 2-defective
+  ``Delta^2``-edge-coloring via edge orientation (the first stage of the
+  Section 5 CONGEST edge-coloring pipeline).
+"""
+
+from repro.defective.vertex import DefectiveLinialColoring
+from repro.defective.kuhn_edge import kuhn_defective_edge_coloring
+
+__all__ = ["DefectiveLinialColoring", "kuhn_defective_edge_coloring"]

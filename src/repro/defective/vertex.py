@@ -1,0 +1,132 @@
+"""p-defective ``O((Delta/p)^2)``-coloring in ``log* n + O(1)`` rounds.
+
+Section 6 starts ArbAG from a ``p``-defective ``O((Delta/p)^2)``-coloring
+computed by the algorithm of Barenboim–Elkin–Kuhn [9].  We reproduce that
+guarantee with the same machinery as our Linial stage: a proper Linial
+cascade down to ``O(Delta^2)`` colors, followed by O(1) *tolerant* Linial
+steps.  A tolerant step encodes colors as degree-2 polynomials over GF(q) and
+each vertex picks the evaluation point with the *fewest* collisions with its
+distinctly-colored neighbors; by pigeonhole some point has at most
+``floor(2 * Delta / q)`` collisions, so a step with ``q = Theta(Delta / p)``
+adds at most ``O(p)`` defect while squaring down the palette towards
+``O((Delta/p)^2)``.
+
+Already-equal neighbors stay tolerated (they may or may not separate later);
+the accumulated defect is the sum of the per-step pigeonhole bounds, exposed
+as :attr:`DefectiveLinialColoring.defect_bound` and asserted in tests.
+"""
+
+from repro.linial.plan import integer_root_ceiling, linial_plan
+from repro.mathutil.gf import eval_poly_mod, int_to_poly_coeffs
+from repro.mathutil.primes import next_prime_at_least
+from repro.runtime.algorithm import LocallyIterativeColoring
+
+__all__ = ["DefectiveLinialColoring", "defective_linial_next_color"]
+
+_TOLERANT_DEGREE = 2
+
+
+def defective_linial_next_color(color, neighbor_colors, q, degree):
+    """One tolerant Linial step: the point with the fewest collisions.
+
+    Returns ``x * q + g(x)`` for the ``x`` minimizing the number of
+    distinctly-colored neighbors whose polynomial agrees with ours at ``x``
+    (ties broken towards smaller ``x``).
+    """
+    mine = int_to_poly_coeffs(color, degree, q)
+    neighbor_polys = [
+        int_to_poly_coeffs(c, degree, q) for c in set(neighbor_colors) if c != color
+    ]
+    best_x, best_value, best_count = 0, eval_poly_mod(mine, 0, q), None
+    for x in range(q):
+        value = eval_poly_mod(mine, x, q)
+        count = sum(
+            1 for other in neighbor_polys if eval_poly_mod(other, x, q) == value
+        )
+        if best_count is None or count < best_count:
+            best_x, best_value, best_count = x, value, count
+        if best_count == 0:
+            break
+    return best_x * q + best_value
+
+
+class DefectiveLinialColoring(LocallyIterativeColoring):
+    """``m`` colors to a ``O(p)``-defective ``O((Delta/p)^2)``-coloring.
+
+    Parameters
+    ----------
+    tolerance:
+        The defect parameter ``p`` (``1 <= p``).  ``p = 1`` degenerates to an
+        essentially-proper Linial run; ``p = sqrt(Delta)`` is the setting of
+        Section 6's headline result.
+    """
+
+    name = "defective-linial"
+    maintains_proper = False
+    uniform_step = False
+
+    def __init__(self, tolerance):
+        super().__init__()
+        if tolerance < 1:
+            raise ValueError("tolerance must be >= 1")
+        self.tolerance = tolerance
+        self.proper_plan = None
+        self.tolerant_qs = None
+        self.defect_bound = None
+
+    def configure(self, info):
+        super().configure(info)
+        delta = info.max_degree
+        self.proper_plan = linial_plan(info.in_palette_size, delta)
+        proper_out = (
+            self.proper_plan[-1].out_palette
+            if self.proper_plan
+            else info.in_palette_size
+        )
+        # Target palette: (smallest prime >= 2 * ceil(Delta/p) + 2) squared,
+        # which is what ArbAG wants to see as its input space.
+        r = -(-delta // self.tolerance) if delta else 0
+        target_q = next_prime_at_least(max(2 * r + 2, 2))
+        target = target_q * target_q
+        qs = []
+        bound = 0
+        m = proper_out
+        while m > target:
+            q = next_prime_at_least(
+                max(integer_root_ceiling(m, _TOLERANT_DEGREE + 1), target_q)
+            )
+            if q * q >= m:
+                break
+            qs.append(q)
+            bound += (_TOLERANT_DEGREE * delta) // q
+            m = q * q
+        self.tolerant_qs = qs
+        self.defect_bound = bound
+        self._final_palette = m
+
+    @property
+    def out_palette_size(self):
+        self._require_configured()
+        return self._final_palette
+
+    @property
+    def rounds_bound(self):
+        self._require_configured()
+        return len(self.proper_plan) + len(self.tolerant_qs)
+
+    def step(self, round_index, color, neighbor_colors):
+        n_proper = len(self.proper_plan)
+        if round_index < n_proper:
+            iteration = self.proper_plan[round_index]
+            from repro.linial.core import linial_next_color
+
+            return linial_next_color(
+                color, neighbor_colors, iteration.q, iteration.degree
+            )
+        tolerant_index = round_index - n_proper
+        if tolerant_index >= len(self.tolerant_qs):
+            return color
+        q = self.tolerant_qs[tolerant_index]
+        return defective_linial_next_color(
+            color, neighbor_colors, q, _TOLERANT_DEGREE
+        )

@@ -1,0 +1,27 @@
+"""(2*Delta-1)-edge-coloring with small messages (Section 5).
+
+The pipeline: Kuhn's one-round 2-defective ``Delta^2``-edge-coloring ->
+Cole–Vishkin 3-coloring of each color class (paths/cycles) -> the AG
+algorithm on the line graph with *1-bit* rounds -> optionally the exact
+high/low hybrid with *2-bit* rounds, landing on exactly ``2*Delta - 1``
+colors.
+
+Round and bit accounting follows Lemmas 5.1/5.2 and Theorem 5.3:
+``O(Delta + log* n)`` rounds in CONGEST, ``O(Delta + log n)`` bits per edge
+in the Bit-Round model (``O(Delta + log log n)`` when neighbors' IDs are
+already known).
+"""
+
+from repro.edge.line_graph import build_line_graph
+from repro.edge.congest import (
+    EdgeColoringResult,
+    edge_coloring_bit_round,
+    edge_coloring_congest,
+)
+
+__all__ = [
+    "build_line_graph",
+    "EdgeColoringResult",
+    "edge_coloring_congest",
+    "edge_coloring_bit_round",
+]

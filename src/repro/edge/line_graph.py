@@ -1,0 +1,38 @@
+"""Line-graph utilities.
+
+Edge-coloring a graph ``G`` is vertex-coloring its line graph ``L(G)``:
+every edge becomes a node, incident edges become adjacent.  In the LOCAL
+model the reduction is free; in CONGEST it is not (which is why Section 5
+works on edges directly), but the *simulation* is identical either way, so we
+run our vertex stages on ``L(G)`` while accounting for bits as the real
+two-endpoint protocol would.
+"""
+
+from repro.runtime.graph import StaticGraph
+
+__all__ = ["build_line_graph"]
+
+
+def build_line_graph(graph):
+    """Return ``(line_graph, edge_index)`` for the given StaticGraph.
+
+    ``line_graph`` has one vertex per edge of ``graph`` (in ``graph.edges``
+    order); two are adjacent iff the edges share an endpoint.  ``edge_index``
+    maps each original edge ``(u, v)`` (``u < v``) to its line-graph vertex.
+
+    The line graph's maximum degree is at most ``2 * Delta - 2``.
+    """
+    edges = graph.edges
+    edge_index = {edge: i for i, edge in enumerate(edges)}
+    incident = [[] for _ in range(graph.n)]
+    for idx, (u, v) in enumerate(edges):
+        incident[u].append(idx)
+        incident[v].append(idx)
+    line_edges = set()
+    for around in incident:
+        for i in range(len(around)):
+            for j in range(i + 1, len(around)):
+                a, b = around[i], around[j]
+                line_edges.add((a, b) if a < b else (b, a))
+    line_graph = StaticGraph(len(edges), sorted(line_edges))
+    return line_graph, edge_index

@@ -1,0 +1,37 @@
+"""Library-wide exception types."""
+
+__all__ = [
+    "ReproError",
+    "ImproperColoringError",
+    "PaletteOverflowError",
+    "NotStabilizedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ImproperColoringError(ReproError):
+    """A coloring that must be proper has two equal-colored neighbors.
+
+    Raised by the engine when a stage that claims ``maintains_proper`` emits a
+    monochromatic edge — i.e. a violation of Lemma 3.2 / 7.1 / 7.4.
+    """
+
+    def __init__(self, round_index, edge, color):
+        self.round_index = round_index
+        self.edge = edge
+        self.color = color
+        super().__init__(
+            "edge %r monochromatic with color %r after round %d"
+            % (edge, color, round_index)
+        )
+
+
+class PaletteOverflowError(ReproError):
+    """A stage produced a final color outside its declared output palette."""
+
+
+class NotStabilizedError(ReproError):
+    """A self-stabilizing run failed to reach a legal state within its bound."""

@@ -1,0 +1,90 @@
+"""Linial's algorithm as a locally-iterative stage, plus the Excl-Linial step.
+
+The single-iteration primitive :func:`linial_next_color` is shared by:
+
+* :class:`LinialColoring` — the static ``log* n + O(1)``-round stage used in
+  Corollary 3.6's pipeline, and
+* the self-stabilizing Mod-Linial of Section 4, which calls the primitive
+  with a *forbidden set* (the Excl-Linial extension: with a field of size
+  ``> d * Delta + |forbidden|`` there is still a point avoiding every
+  neighbor's polynomial and every forbidden pair).
+"""
+
+from repro.linial.plan import linial_plan
+from repro.mathutil.gf import eval_poly_mod, int_to_poly_coeffs
+from repro.runtime.algorithm import LocallyIterativeColoring
+
+__all__ = ["linial_next_color", "LinialColoring"]
+
+
+def linial_next_color(color, neighbor_colors, q, degree, forbidden=frozenset()):
+    """One Linial iteration for a single vertex.
+
+    Encodes ``color`` as a degree-``degree`` polynomial ``g`` over GF(q) and
+    returns the new color ``x * q + g(x)`` for the smallest evaluation point
+    ``x`` where ``g`` differs from every neighbor's polynomial and the
+    resulting pair is not forbidden.
+
+    Existence: each of the ``<= Delta`` neighbor polynomials agrees with ``g``
+    on at most ``degree`` points and each forbidden color rules out at most
+    one point, so ``q >= degree * Delta + |forbidden| + 1`` always leaves a
+    valid ``x``.  Raises :class:`ValueError` when the caller under-sized the
+    field.
+    """
+    mine = int_to_poly_coeffs(color, degree, q)
+    neighbor_polys = [
+        int_to_poly_coeffs(c, degree, q) for c in set(neighbor_colors) if c != color
+    ]
+    for x in range(q):
+        value = eval_poly_mod(mine, x, q)
+        candidate = x * q + value
+        if candidate in forbidden:
+            continue
+        if all(eval_poly_mod(other, x, q) != value for other in neighbor_polys):
+            return candidate
+    raise ValueError(
+        "no conflict-free point in GF(%d) for degree %d with %d neighbors, "
+        "%d forbidden colors" % (q, degree, len(neighbor_polys), len(forbidden))
+    )
+
+
+class LinialColoring(LocallyIterativeColoring):
+    """``m`` colors (e.g. IDs) to ``O(Delta^2)`` colors in ``log* m + O(1)`` rounds.
+
+    Round ``i`` applies the planned iteration ``(q_i, d_i)``; the plan is a
+    pure function of ``(m, Delta)``, so every vertex derives it locally from
+    ROM data.  Works in SET-LOCAL: the rule uses only the set of neighbor
+    colors.
+    """
+
+    name = "linial"
+    maintains_proper = True
+    uniform_step = False
+
+    def __init__(self):
+        super().__init__()
+        self.plan = None
+
+    def configure(self, info):
+        super().configure(info)
+        self.plan = linial_plan(info.in_palette_size, info.max_degree)
+
+    @property
+    def out_palette_size(self):
+        self._require_configured()
+        if not self.plan:
+            return self.info.in_palette_size
+        return self.plan[-1].out_palette
+
+    @property
+    def rounds_bound(self):
+        self._require_configured()
+        return len(self.plan)
+
+    def step(self, round_index, color, neighbor_colors):
+        if round_index >= len(self.plan):
+            return color
+        iteration = self.plan[round_index]
+        return linial_next_color(
+            color, neighbor_colors, iteration.q, iteration.degree
+        )

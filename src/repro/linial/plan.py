@@ -1,0 +1,96 @@
+"""Planning the Linial cascade.
+
+One Linial iteration maps a proper ``m``-coloring to a proper
+``q^2``-coloring, where colors become degree-``d`` polynomials over GF(q)
+(``q^(d+1) >= m`` makes the encoding injective) and ``q >= d * Delta + 1``
+guarantees every vertex a point where its polynomial differs from all of its
+(at most Delta) neighbors' polynomials.
+
+The planner picks, for each iteration, the degree ``d`` minimizing the output
+palette ``q^2``, and stops at the fixpoint — an ``O(Delta^2)`` palette (for
+``d = 1``, two distinct lines over GF(q) share at most one point, so
+``q >= Delta + 1`` suffices, and the fixpoint palette is the square of a
+prime close to ``max(Delta + 1, sqrt(m))``).  The cascade length is
+``log* m + O(1)``: each step roughly replaces ``m`` by ``(Delta * log m)^2``.
+
+The plan is a pure function of ``(m, Delta)`` — exactly the information in
+every node's ROM — so all vertices compute identical plans without
+communication.
+"""
+
+from repro.mathutil.primes import next_prime_at_least
+
+__all__ = ["LinialIteration", "linial_plan", "integer_root_ceiling"]
+
+_MAX_DEGREE = 64
+
+
+def integer_root_ceiling(m, k):
+    """Smallest integer ``r`` with ``r^k >= m`` (exact integer arithmetic)."""
+    if m <= 1:
+        return 1
+    low, high = 1, m
+    while low < high:
+        mid = (low + high) // 2
+        if mid ** k >= m:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+class LinialIteration:
+    """Parameters of one Linial iteration: field size, degree, palettes."""
+
+    __slots__ = ("q", "degree", "in_palette", "out_palette")
+
+    def __init__(self, q, degree, in_palette):
+        self.q = q
+        self.degree = degree
+        self.in_palette = in_palette
+        self.out_palette = q * q
+
+    def __repr__(self):
+        return "LinialIteration(q=%d, d=%d, %d -> %d colors)" % (
+            self.q,
+            self.degree,
+            self.in_palette,
+            self.out_palette,
+        )
+
+
+def _best_iteration(m, delta):
+    """Cheapest single iteration from an ``m``-coloring, or None if stuck."""
+    best = None
+    for d in range(1, _MAX_DEGREE + 1):
+        q_floor = max(d * delta + 1, integer_root_ceiling(m, d + 1), 2)
+        q = next_prime_at_least(q_floor)
+        if best is None or q * q < best.out_palette:
+            best = LinialIteration(q, d, m)
+        if d * delta + 1 >= q_floor and d > 1:
+            # Degrees beyond this point only raise the d*Delta floor.
+            break
+    if best is None or best.out_palette >= m:
+        return None
+    return best
+
+
+def linial_plan(m, delta):
+    """Return the list of :class:`LinialIteration` reducing ``m`` to O(Delta^2).
+
+    The cascade stops when no iteration shrinks the palette; the fixpoint is
+    ``O(Delta^2)`` (a prime-squared a small constant above ``(Delta+1)^2``).
+
+    >>> plan = linial_plan(10**6, 10)
+    >>> plan[-1].out_palette <= 16 * 11 * 11
+    True
+    """
+    plan = []
+    current = m
+    while True:
+        iteration = _best_iteration(current, delta)
+        if iteration is None:
+            break
+        plan.append(iteration)
+        current = iteration.out_palette
+    return plan

@@ -1,0 +1,125 @@
+"""Run the full Corollary 3.6 pipeline through the metered O(1)-word steps.
+
+The synchronous loop mirrors :class:`~repro.runtime.engine.ColoringEngine`,
+but every per-vertex computation goes through streaming steps and a
+:class:`~repro.lowmem.workspace.Workspace`, and the report carries the peak
+per-vertex memory in bits and in Theta(log n)-bit words — the executable
+form of the paper's "O(1) words of local memory" claim.
+"""
+
+from repro.core.ag import ag_prime_for
+from repro.linial.plan import linial_plan
+from repro.lowmem.steps import (
+    ag_step_low_memory,
+    linial_step_low_memory,
+    standard_reduction_step_low_memory,
+)
+from repro.lowmem.workspace import Workspace, bits_for_range
+
+__all__ = ["LowMemoryReport", "delta_plus_one_coloring_low_memory"]
+
+
+class LowMemoryReport:
+    """Outcome of a low-memory pipeline run."""
+
+    def __init__(self, colors, rounds, peak_bits, word_bits):
+        self.colors = colors
+        self.rounds = rounds
+        self.peak_bits = peak_bits
+        self.word_bits = word_bits
+
+    @property
+    def peak_words(self):
+        """Peak workspace usage in Theta(log n)-bit words."""
+        return -(-self.peak_bits // max(1, self.word_bits))
+
+    def to_dict(self):
+        """JSON-serializable summary."""
+        return {
+            "colors": list(self.colors),
+            "rounds": self.rounds,
+            "peak_bits": self.peak_bits,
+            "word_bits": self.word_bits,
+            "peak_words": self.peak_words,
+        }
+
+    def __repr__(self):
+        return "LowMemoryReport(rounds=%d, peak=%d bits = %d words of %d bits)" % (
+            self.rounds,
+            self.peak_bits,
+            self.peak_words,
+            self.word_bits,
+        )
+
+
+def _synchronous_round(graph, colors, step):
+    """Apply ``step(v, color, buffers)`` to all vertices simultaneously."""
+    current = list(colors)
+
+    def make_buffers(v):
+        def buffers():
+            return iter([current[u] for u in graph.neighbors(v)])
+
+        return buffers
+
+    return [step(v, current[v], make_buffers(v)) for v in graph.vertices()]
+
+
+def delta_plus_one_coloring_low_memory(graph, bit_limit=None):
+    """Corollary 3.6 with metered O(1)-word per-vertex memory.
+
+    Returns a :class:`LowMemoryReport`; ``bit_limit`` optionally *enforces*
+    a hard workspace budget (a too-small budget raises
+    :class:`~repro.lowmem.workspace.WorkspaceOverflowError`, proving the
+    meter is live).
+    """
+    n = graph.n
+    delta = graph.max_degree
+    word_bits = bits_for_range(max(2, n))
+    workspace = Workspace(bit_limit=bit_limit)
+    colors = list(range(n))
+    rounds = 0
+
+    # Stage 1: Linial, one planned iteration per round.
+    plan = linial_plan(max(2, n), delta)
+    palette = max(2, n)
+    for iteration in plan:
+        colors = _synchronous_round(
+            graph,
+            colors,
+            lambda v, c, buffers: linial_step_low_memory(
+                c, buffers, iteration.q, iteration.degree, workspace
+            ),
+        )
+        palette = iteration.out_palette
+        rounds += 1
+
+    # Stage 2: AG on pairs over Z_q.
+    q = ag_prime_for(palette, delta)
+    pairs = [(c // q, c % q) for c in colors]
+    for _ in range(q):
+        if all(a == 0 for a, _ in pairs):
+            break
+        pairs = _synchronous_round(
+            graph,
+            pairs,
+            lambda v, c, buffers: ag_step_low_memory(c, buffers, q, workspace),
+        )
+        rounds += 1
+    colors = [b for _, b in pairs]
+    palette = q
+
+    # Stage 3: standard reduction to Delta + 1.
+    target = delta + 1
+    for t in range(max(0, palette - target)):
+        acting = palette - 1 - t
+        colors = _synchronous_round(
+            graph,
+            colors,
+            lambda v, c, buffers: standard_reduction_step_low_memory(
+                c, buffers, acting, target, workspace
+            ),
+        )
+        rounds += 1
+
+    return LowMemoryReport(colors, rounds, workspace.peak_bits, word_bits)

@@ -1,0 +1,122 @@
+"""Streaming, O(1)-word implementations of the pipeline's three steps.
+
+Each function receives the vertex's own color, a zero-argument factory
+returning a fresh iterator over the neighbor message buffers (the model
+allows re-reading them), and the :class:`~repro.lowmem.workspace.Workspace`
+to account every live local value in.  None of them ever materializes a
+neighborhood-sized structure.
+"""
+
+from repro.lowmem.workspace import Workspace, bits_for_range
+
+__all__ = [
+    "ag_step_low_memory",
+    "linial_step_low_memory",
+    "standard_reduction_step_low_memory",
+]
+
+
+def ag_step_low_memory(color, buffers, q, workspace):
+    """The AG step with own pair + one streamed neighbor + a flag.
+
+    ``color`` and the buffered neighbor colors are AG pairs ``(a, b)``.
+    """
+    workspace.put("a", color[0], bits_for_range(q))
+    workspace.put("b", color[1], bits_for_range(q))
+    workspace.put("conflict", 0, 1)
+    for neighbor in buffers():
+        # One buffered pair is inspected at a time; only its b matters.
+        workspace.put("nb", neighbor[1], bits_for_range(q))
+        if workspace.get("nb") == workspace.get("b"):
+            workspace.put("conflict", 1, 1)
+        workspace.free("nb")
+    a, b = workspace.get("a"), workspace.get("b")
+    if workspace.get("conflict"):
+        result = (a, (b + a) % q)
+    else:
+        result = (0, b)
+    workspace.free_all()
+    return result
+
+
+def linial_step_low_memory(color, buffers, q, degree, workspace):
+    """Linial's step exactly as sketched at the end of Section 3.
+
+    For each candidate point ``x``: compute ``g(x)`` (own polynomial = own
+    color's base-q digits, recomputed digit by digit — never stored whole
+    beyond the color itself), then stream the neighbor colors, evaluating
+    each neighbor's polynomial at ``x`` one at a time and comparing.  The
+    first ``x`` where all comparisons differ yields the new color
+    ``x * q + g(x)``.
+    """
+
+    def eval_digits(value, x):
+        # Horner on base-q digits, high to low, using O(1) extra registers.
+        workspace.put("acc", 0, bits_for_range(q))
+        for position in range(degree, -1, -1):
+            digit = (value // (q ** position)) % q
+            workspace.put("digit", digit, bits_for_range(q))
+            workspace.put(
+                "acc",
+                (workspace.get("acc") * x + workspace.get("digit")) % q,
+                bits_for_range(q),
+            )
+            workspace.free("digit")
+        result = workspace.get("acc")
+        workspace.free("acc")
+        return result
+
+    workspace.put("color", color, bits_for_range(q ** (degree + 1)))
+    for x in range(q):
+        workspace.put("x", x, bits_for_range(q))
+        workspace.put("gx", eval_digits(color, x), bits_for_range(q))
+        ok = True
+        for neighbor in buffers():
+            if neighbor == color:
+                continue
+            workspace.put("nval", eval_digits(neighbor, x), bits_for_range(q))
+            if workspace.get("nval") == workspace.get("gx"):
+                ok = False
+            workspace.free("nval")
+            if not ok:
+                break
+        if ok:
+            new_color = x * q + workspace.get("gx")
+            workspace.free_all()
+            return new_color
+        workspace.free("gx")
+        workspace.free("x")
+    workspace.free_all()
+    raise ValueError("no conflict-free point — field under-sized")
+
+
+def standard_reduction_step_low_memory(
+    color, buffers, acting_color, target, workspace
+):
+    """Standard reduction without the Delta-sized forbidden set.
+
+    A vertex of the acting class scans candidates ``0..target-1``; for each
+    it re-streams the buffers looking for a match.  O(1) words, O(Delta)
+    buffer re-reads per round (free in the message-passing model).
+    """
+    workspace.put("color", color, bits_for_range(max(2, acting_color + 1)))
+    if color != acting_color or color < target:
+        workspace.free_all()
+        return color
+    for candidate in range(target):
+        workspace.put("candidate", candidate, bits_for_range(target))
+        taken = False
+        for neighbor in buffers():
+            workspace.put("ncolor", neighbor, bits_for_range(max(2, acting_color + 1)))
+            if workspace.get("ncolor") == workspace.get("candidate"):
+                taken = True
+            workspace.free("ncolor")
+            if taken:
+                break
+        if not taken:
+            result = workspace.get("candidate")
+            workspace.free_all()
+            return result
+        workspace.free("candidate")
+    workspace.free_all()
+    raise AssertionError("no free color among target palette")

@@ -1,0 +1,93 @@
+"""Polynomials over the prime field GF(q).
+
+Linial's algorithm (and its Excl-/Mod- variants in Section 4) encode each
+color ``c`` as a polynomial ``g_c`` of degree ``d`` over ``GF(q)`` and have a
+vertex pick a point ``(x, g_c(x))`` that no neighbor's polynomial passes
+through.  Two distinct degree-``d`` polynomials agree on at most ``d`` points,
+so with ``q >= d * Delta + 1`` a conflict-free point always exists.
+
+Colors map to polynomials through their base-``q`` digits, which makes the
+encoding injective for ``c < q^(d+1)`` and computable with O(1) words of
+memory (as the paper notes at the end of Section 3).
+"""
+
+__all__ = ["int_to_poly_coeffs", "eval_poly_mod", "GFPolynomial"]
+
+
+def int_to_poly_coeffs(value: int, degree: int, q: int) -> tuple:
+    """Return the base-``q`` digits of ``value`` as ``degree + 1`` coefficients.
+
+    The returned tuple ``(c_0, ..., c_degree)`` represents the polynomial
+    ``c_0 + c_1 x + ... + c_degree x^degree`` over GF(q).  Distinct values
+    below ``q^(degree+1)`` yield distinct coefficient tuples.
+
+    >>> int_to_poly_coeffs(11, 2, 3)
+    (2, 0, 1)
+    """
+    if value < 0:
+        raise ValueError("polynomial encoding requires a non-negative value")
+    if value >= q ** (degree + 1):
+        raise ValueError(
+            "value %d does not fit in %d base-%d digits" % (value, degree + 1, q)
+        )
+    coeffs = []
+    remaining = value
+    for _ in range(degree + 1):
+        coeffs.append(remaining % q)
+        remaining //= q
+    return tuple(coeffs)
+
+
+def eval_poly_mod(coeffs, x: int, q: int) -> int:
+    """Evaluate the polynomial with the given coefficients at ``x`` mod ``q``.
+
+    Uses Horner's rule; ``coeffs`` is low-order first, as produced by
+    :func:`int_to_poly_coeffs`.
+
+    >>> eval_poly_mod((2, 0, 1), 2, 3)  # 2 + 0*2 + 1*4 = 6 = 0 mod 3
+    0
+    """
+    result = 0
+    for coeff in reversed(coeffs):
+        result = (result * x + coeff) % q
+    return result
+
+
+class GFPolynomial:
+    """A color's polynomial representative over GF(q).
+
+    Thin immutable wrapper bundling the coefficient tuple with the field
+    characteristic, used by the Linial family.
+    """
+
+    __slots__ = ("coeffs", "q")
+
+    def __init__(self, coeffs, q: int):
+        self.coeffs = tuple(c % q for c in coeffs)
+        self.q = q
+
+    @classmethod
+    def from_color(cls, color: int, degree: int, q: int) -> "GFPolynomial":
+        """Encode an integer color as a degree-``degree`` polynomial."""
+        return cls(int_to_poly_coeffs(color, degree, q), q)
+
+    def __call__(self, x: int) -> int:
+        return eval_poly_mod(self.coeffs, x, self.q)
+
+    @property
+    def degree(self) -> int:
+        """The polynomial degree (number of coefficients minus one)."""
+        return len(self.coeffs) - 1
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GFPolynomial)
+            and self.q == other.q
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.coeffs, self.q))
+
+    def __repr__(self) -> str:
+        return "GFPolynomial(coeffs=%r, q=%d)" % (self.coeffs, self.q)

@@ -1,0 +1,47 @@
+"""The iterated logarithm ``log*`` and its inverse tower function.
+
+``log* n`` is the number of times ``log2`` must be applied, starting from
+``n``, until the value drops below 2.  It is the canonical additive term in
+distributed symmetry-breaking bounds: Linial's algorithm needs
+``log* n + O(1)`` rounds and the paper's headline bound is
+``O(Delta + log* n)``.
+"""
+
+import math
+
+__all__ = ["log_star", "tower"]
+
+
+def log_star(n: float) -> int:
+    """Return ``log* n``: iterations of ``log2`` until the value is < 2.
+
+    Values below 2 (including non-positive values) have ``log* = 0`` by
+    convention, matching the definition in Section 2 of the paper.
+
+    >>> [log_star(x) for x in (1, 2, 4, 16, 65536)]
+    [0, 1, 2, 3, 4]
+    """
+    count = 0
+    value = float(n)
+    while value >= 2.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def tower(height: int) -> int:
+    """Return the power tower ``2^2^...^2`` of the given height.
+
+    ``tower`` is the (partial) inverse of :func:`log_star`:
+    ``log_star(tower(h)) == h`` for small ``h``.  Useful in tests that probe
+    the boundaries of the ``log*`` regimes.
+
+    >>> [tower(h) for h in range(5)]
+    [1, 2, 4, 16, 65536]
+    """
+    if height < 0:
+        raise ValueError("tower height must be non-negative")
+    value = 1
+    for _ in range(height):
+        value = 2 ** value
+    return value

@@ -1,0 +1,79 @@
+"""Prime generation used to size the additive groups of the AG family.
+
+The AG algorithm (Section 3) needs a prime ``q`` with ``sqrt(k) <= q`` and
+``q > 2 * Delta``; 3AG (Section 7) needs ``p >= 2*Delta + 2``; the exact
+(Delta+1) construction picks a prime in ``[Delta+1, Delta+1+O(Delta^{21/40})]``
+(such a prime exists by Baker-Harman-Pintz).  All of these reduce to "the
+smallest prime at least x", which :func:`next_prime_at_least` provides.
+
+Deterministic trial division is plenty here: the thresholds are O(Delta) or
+O(Delta^2) with laptop-scale Delta.
+"""
+
+__all__ = ["is_prime", "next_prime", "next_prime_at_least", "primes_up_to"]
+
+
+def is_prime(n: int) -> bool:
+    """Return True iff ``n`` is prime (deterministic trial division).
+
+    >>> [x for x in range(20) if is_prime(x)]
+    [2, 3, 5, 7, 11, 13, 17, 19]
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return n > 1
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``.
+
+    >>> next_prime(10)
+    11
+    >>> next_prime(13)
+    17
+    """
+    candidate = max(2, n + 1)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def next_prime_at_least(n: int) -> int:
+    """Return the smallest prime greater than or equal to ``n``.
+
+    >>> next_prime_at_least(13)
+    13
+    >>> next_prime_at_least(14)
+    17
+    """
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def primes_up_to(n: int) -> list:
+    """Return all primes ``<= n`` via the sieve of Eratosthenes.
+
+    >>> primes_up_to(30)
+    [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+    """
+    if n < 2:
+        return []
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0] = sieve[1] = 0
+    p = 2
+    while p * p <= n:
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+        p += 1
+    return [i for i, flag in enumerate(sieve) if flag]

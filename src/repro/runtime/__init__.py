@@ -1,0 +1,40 @@
+"""Synchronous message-passing substrate.
+
+This package is the "distributed network" the paper's algorithms run on:
+
+* :mod:`repro.runtime.graph` — immutable :class:`StaticGraph` topology views
+  and the mutable :class:`DynamicGraph` used by the fully-dynamic
+  self-stabilizing setting,
+* :mod:`repro.runtime.engine` — the synchronous round engine for
+  locally-iterative colorings, with LOCAL (multiset of neighbor colors) and
+  SET-LOCAL (set of neighbor colors, no multiplicities, no sender identity)
+  visibility modes,
+* :mod:`repro.runtime.algorithm` — the locally-iterative algorithm interface,
+* :mod:`repro.runtime.pipeline` — stage composition (e.g. Linial then AG then
+  standard reduction, Corollary 3.6),
+* :mod:`repro.runtime.metrics` — rounds / messages / bits accounting used for
+  the CONGEST and Bit-Round claims.
+
+The engine structurally enforces the locally-iterative contract: a vertex's
+``step`` receives only its own color and the collection of neighbor colors.
+"""
+
+from repro.runtime.graph import StaticGraph, DynamicGraph
+from repro.runtime.algorithm import LocallyIterativeColoring, NetworkInfo
+from repro.runtime.engine import ColoringEngine, RunResult, Visibility
+from repro.runtime.pipeline import ColoringPipeline, PipelineResult
+from repro.runtime.metrics import RoundMetrics, MetricsLog
+
+__all__ = [
+    "StaticGraph",
+    "DynamicGraph",
+    "LocallyIterativeColoring",
+    "NetworkInfo",
+    "ColoringEngine",
+    "RunResult",
+    "Visibility",
+    "ColoringPipeline",
+    "PipelineResult",
+    "RoundMetrics",
+    "MetricsLog",
+]

@@ -1,0 +1,140 @@
+"""The locally-iterative algorithm interface.
+
+A locally-iterative algorithm (Szegedy–Vishwanathan [62]) maintains a proper
+coloring every round; each vertex computes its next color from its current
+color and the colors of its neighbors only.  This module pins that contract
+down as an abstract class with a small, explicit surface:
+
+* ``configure(info)`` — receive the graph-level parameters a real network
+  node would know (``n``, ``Delta``, input palette size) and derive field
+  sizes etc.;
+* ``encode_initial(color)`` — map an integer input color into the algorithm's
+  internal color space (e.g. AG's ``<a, b>`` pairs);
+* ``step(round_index, color, neighbor_colors)`` — the per-round rule.
+  ``neighbor_colors`` is an opaque iterable of colors: a tuple in the LOCAL
+  mode, a frozenset in the SET-LOCAL mode.  Algorithms that only inspect
+  membership/sets work unchanged in SET-LOCAL;
+* ``decode_final(color)`` — map an internal color back to an integer in
+  ``range(out_palette_size)``.
+
+``round_index`` exists because classical locally-iterative algorithms
+(Linial, Kuhn–Wattenhofer color reductions) use round-dependent rules.  The
+AG family deliberately ignores it — the same uniform step runs forever —
+which is precisely what makes it self-stabilizing.
+"""
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = ["NetworkInfo", "LocallyIterativeColoring"]
+
+
+class NetworkInfo:
+    """Graph-level parameters known to every node.
+
+    Mirrors the ROM contents of Section 4: the number of vertices ``n`` (or an
+    upper bound), the maximum degree ``max_degree`` (Delta, or an upper
+    bound), and the size of the palette the input coloring lives in.
+    """
+
+    __slots__ = ("n", "max_degree", "in_palette_size")
+
+    def __init__(self, n, max_degree, in_palette_size):
+        if n < 0 or max_degree < 0 or in_palette_size < 1:
+            raise ValueError("invalid network info")
+        self.n = n
+        self.max_degree = max_degree
+        self.in_palette_size = in_palette_size
+
+    def __repr__(self):
+        return "NetworkInfo(n=%d, max_degree=%d, in_palette_size=%d)" % (
+            self.n,
+            self.max_degree,
+            self.in_palette_size,
+        )
+
+
+class LocallyIterativeColoring(ABC):
+    """Base class for one stage of a locally-iterative coloring computation.
+
+    Subclasses must call ``super().configure(info)`` (or set ``self.info``)
+    and then fill in :attr:`out_palette_size` and :attr:`rounds_bound`.
+
+    Attributes
+    ----------
+    maintains_proper:
+        True (default) if the stage keeps the coloring proper in every round;
+        ArbAG sets this to False because it maintains an *arbdefective*
+        coloring instead.
+    uniform_step:
+        True if ``step`` ignores ``round_index`` (AG family); such stages can
+        run forever and are the ones reusable verbatim for self-stabilization.
+    """
+
+    name = "locally-iterative-stage"
+    maintains_proper = True
+    uniform_step = False
+
+    def __init__(self):
+        self.info = None
+
+    def configure(self, info):
+        """Bind the stage to a network; must be called before any stepping."""
+        self.info = info
+
+    def _require_configured(self):
+        if self.info is None:
+            raise RuntimeError("%s.configure() must be called first" % type(self).__name__)
+
+    # -- palette --------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def out_palette_size(self):
+        """Number of colors the stage's *final* coloring may use."""
+
+    @property
+    @abstractmethod
+    def rounds_bound(self):
+        """Worst-case number of rounds the stage needs (its proven bound)."""
+
+    # -- the locally-iterative contract ---------------------------------------
+
+    def encode_initial(self, color):
+        """Map an input color (int) into the internal color space.
+
+        Default: identity (for stages whose colors are plain ints).
+        """
+        return color
+
+    @abstractmethod
+    def step(self, round_index, color, neighbor_colors):
+        """Return the vertex's next color given the 1-hop colors."""
+
+    def decode_final(self, color):
+        """Map an internal final color back to ``range(out_palette_size)``."""
+        return color
+
+    def is_final(self, color):
+        """Return True if this color can no longer change (enables early stop).
+
+        Default: never signal finality; the engine then runs the full
+        ``rounds_bound`` or stops at a global fixed point.
+        """
+        return False
+
+    # -- bandwidth accounting ---------------------------------------------------
+
+    def message_bits(self, round_index):
+        """Bits each vertex sends per neighbor in the given round.
+
+        Default: enough to broadcast a color out of the larger of the input
+        and output palettes.  Stages with cheaper updates (AG's single
+        final/changed bit) override this.
+        """
+        self._require_configured()
+        palette = max(self.info.in_palette_size, self.out_palette_size, 2)
+        return max(1, math.ceil(math.log2(palette)))
+
+    def __repr__(self):
+        return "%s(configured=%s)" % (type(self).__name__, self.info is not None)

@@ -1,0 +1,198 @@
+"""The synchronous round engine.
+
+One engine instance wraps one :class:`~repro.runtime.graph.StaticGraph` and
+executes locally-iterative stages on it, round by round.  All vertices update
+simultaneously: the new color of ``v`` is a function of the *current* colors
+of its closed neighborhood only.
+
+Visibility modes
+----------------
+LOCAL:
+    ``step`` receives the tuple of neighbor colors (a multiset; order is the
+    engine's adjacency order and carries no information an algorithm may use).
+SET_LOCAL:
+    ``step`` receives a frozenset of neighbor colors — identical messages from
+    different neighbors are indistinguishable and multiplicities are lost.
+    This is the weak LOCAL model of Hefetz et al. [33] discussed in
+    Section 1.2.3; algorithms that run unchanged here inherit the model's
+    strong lower bounds as context for their upper bounds.
+"""
+
+import enum
+
+from repro.errors import ImproperColoringError, PaletteOverflowError
+from repro.runtime.algorithm import NetworkInfo
+from repro.runtime.metrics import MetricsLog, RoundMetrics
+
+__all__ = ["Visibility", "RunResult", "ColoringEngine"]
+
+
+class Visibility(enum.Enum):
+    """What a vertex sees of its neighborhood each round."""
+
+    LOCAL = "local"
+    SET_LOCAL = "set-local"
+
+
+class RunResult:
+    """Outcome of running one stage to completion.
+
+    Attributes
+    ----------
+    colors:
+        Final internal colors, indexed by vertex.
+    int_colors:
+        Final colors decoded to ``range(out_palette_size)``.
+    rounds_used:
+        Number of rounds actually executed (early stop counts the executed
+        rounds only).
+    metrics:
+        :class:`~repro.runtime.metrics.MetricsLog` for the run.
+    history:
+        Per-round list of internal colorings (only if recording was enabled);
+        ``history[0]`` is the encoded initial coloring.
+    """
+
+    def __init__(self, colors, int_colors, rounds_used, metrics, history):
+        self.colors = colors
+        self.int_colors = int_colors
+        self.rounds_used = rounds_used
+        self.metrics = metrics
+        self.history = history
+
+    @property
+    def num_colors(self):
+        """Distinct decoded colors in the final coloring."""
+        return len(set(self.int_colors))
+
+    def to_dict(self):
+        """JSON-serializable summary (history omitted; colors decoded)."""
+        return {
+            "colors": list(self.int_colors),
+            "rounds_used": self.rounds_used,
+            "num_colors": self.num_colors,
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def __repr__(self):
+        return "RunResult(rounds=%d, colors=%d)" % (self.rounds_used, self.num_colors)
+
+
+class ColoringEngine:
+    """Runs locally-iterative stages on a fixed topology.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.runtime.graph.StaticGraph` to run on.
+    visibility:
+        LOCAL (default) or SET_LOCAL.
+    check_proper_each_round:
+        If True, verify after every round that stages claiming
+        ``maintains_proper`` indeed kept the coloring proper, and raise
+        :class:`~repro.errors.ImproperColoringError` otherwise.  This is the
+        executable form of Lemmas 3.2 / 7.1 / 7.4.
+    record_history:
+        If True, keep the full per-round coloring history on the result.
+    """
+
+    def __init__(
+        self,
+        graph,
+        visibility=Visibility.LOCAL,
+        check_proper_each_round=False,
+        record_history=False,
+    ):
+        self.graph = graph
+        self.visibility = visibility
+        self.check_proper_each_round = check_proper_each_round
+        self.record_history = record_history
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _neighborhood_view(self, colors, v):
+        neighbor_colors = tuple(colors[u] for u in self.graph.neighbors(v))
+        if self.visibility is Visibility.SET_LOCAL:
+            return frozenset(neighbor_colors)
+        return neighbor_colors
+
+    def _assert_proper(self, colors, round_index):
+        for u, v in self.graph.edges:
+            if colors[u] == colors[v]:
+                raise ImproperColoringError(round_index, (u, v), colors[u])
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        stage,
+        initial_coloring,
+        in_palette_size=None,
+        max_rounds=None,
+        configure=True,
+    ):
+        """Execute ``stage`` from the given integer initial coloring.
+
+        Parameters
+        ----------
+        stage:
+            A :class:`~repro.runtime.algorithm.LocallyIterativeColoring`.
+        initial_coloring:
+            Sequence of input colors (ints), indexed by vertex.
+        in_palette_size:
+            Size of the input palette; defaults to ``max(initial) + 1``.
+        max_rounds:
+            Cap on rounds; defaults to ``stage.rounds_bound``.
+        configure:
+            If True (default) the engine configures the stage with this
+            graph's :class:`~repro.runtime.algorithm.NetworkInfo`.
+
+        The stage stops early as soon as every vertex reports
+        ``stage.is_final(color)``.
+        """
+        graph = self.graph
+        if len(initial_coloring) != graph.n:
+            raise ValueError("initial coloring must assign a color to every vertex")
+        if in_palette_size is None:
+            in_palette_size = (max(initial_coloring) + 1) if graph.n else 1
+        if configure:
+            stage.configure(NetworkInfo(graph.n, graph.max_degree, in_palette_size))
+
+        colors = [stage.encode_initial(c) for c in initial_coloring]
+        metrics = MetricsLog()
+        history = [list(colors)] if self.record_history else None
+
+        if self.check_proper_each_round and stage.maintains_proper:
+            self._assert_proper(colors, -1)
+
+        bound = stage.rounds_bound if max_rounds is None else max_rounds
+        rounds_used = 0
+        for round_index in range(bound):
+            if all(stage.is_final(colors[v]) for v in graph.vertices()):
+                break
+            new_colors = [
+                stage.step(round_index, colors[v], self._neighborhood_view(colors, v))
+                for v in graph.vertices()
+            ]
+            changed = sum(
+                1 for v in graph.vertices() if new_colors[v] != colors[v]
+            )
+            messages = 2 * graph.m
+            bits = messages * stage.message_bits(round_index)
+            metrics.record(RoundMetrics(round_index, messages, bits, changed))
+            colors = new_colors
+            rounds_used += 1
+            if self.record_history:
+                history.append(list(colors))
+            if self.check_proper_each_round and stage.maintains_proper:
+                self._assert_proper(colors, round_index)
+
+        int_colors = [stage.decode_final(c) for c in colors]
+        out = stage.out_palette_size
+        for v, c in enumerate(int_colors):
+            if not (0 <= c < out):
+                raise PaletteOverflowError(
+                    "vertex %d got color %r outside palette of size %d (stage %s)"
+                    % (v, c, out, stage.name)
+                )
+        return RunResult(colors, int_colors, rounds_used, metrics, history)

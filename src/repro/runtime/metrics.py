@@ -1,0 +1,94 @@
+"""Round / message / bit accounting.
+
+The CONGEST and Bit-Round claims of Section 5 are about *communication*, not
+just rounds: the AG phase of the edge-coloring algorithm exchanges a single
+bit per edge per round, and the total bit complexity is ``O(Delta + log n)``
+per edge.  The engine logs one :class:`RoundMetrics` per round so benchmarks
+can regenerate those numbers.
+"""
+
+__all__ = ["RoundMetrics", "MetricsLog"]
+
+
+class RoundMetrics:
+    """Communication counters for a single synchronous round."""
+
+    __slots__ = ("round_index", "messages", "bits", "changed_vertices")
+
+    def __init__(self, round_index, messages, bits, changed_vertices):
+        self.round_index = round_index
+        self.messages = messages
+        self.bits = bits
+        self.changed_vertices = changed_vertices
+
+    def __repr__(self):
+        return "RoundMetrics(round=%d, messages=%d, bits=%d, changed=%d)" % (
+            self.round_index,
+            self.messages,
+            self.bits,
+            self.changed_vertices,
+        )
+
+
+class MetricsLog:
+    """Accumulated per-round metrics for one run."""
+
+    def __init__(self):
+        self.rounds = []
+
+    def record(self, metrics):
+        """Append one round's counters."""
+        self.rounds.append(metrics)
+
+    @property
+    def total_rounds(self):
+        """Number of recorded rounds."""
+        return len(self.rounds)
+
+    @property
+    def total_messages(self):
+        """Messages summed over the run."""
+        return sum(r.messages for r in self.rounds)
+
+    @property
+    def total_bits(self):
+        """Bits summed over the run."""
+        return sum(r.bits for r in self.rounds)
+
+    def bits_per_edge(self, m):
+        """Average bits exchanged per edge over the run (both directions)."""
+        if m == 0:
+            return 0.0
+        return self.total_bits / m
+
+    def max_bits_in_round_per_message(self):
+        """Largest per-message payload over all rounds (CONGEST check)."""
+        worst = 0
+        for r in self.rounds:
+            if r.messages:
+                worst = max(worst, r.bits // r.messages)
+        return worst
+
+    def to_dict(self):
+        """JSON-serializable summary (per-round detail included)."""
+        return {
+            "total_rounds": self.total_rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "rounds": [
+                {
+                    "round": r.round_index,
+                    "messages": r.messages,
+                    "bits": r.bits,
+                    "changed": r.changed_vertices,
+                }
+                for r in self.rounds
+            ],
+        }
+
+    def __repr__(self):
+        return "MetricsLog(rounds=%d, messages=%d, bits=%d)" % (
+            self.total_rounds,
+            self.total_messages,
+            self.total_bits,
+        )

@@ -1,0 +1,132 @@
+"""Stage composition.
+
+The headline algorithm (Corollary 3.6) is a three-stage pipeline:
+Linial (``n -> O(Delta^2)`` colors, ``log* n + O(1)`` rounds), then the
+Additive-Group algorithm (``O(Delta^2) -> O(Delta)``, ``O(Delta)`` rounds),
+then the standard color reduction (``O(Delta) -> Delta + 1``, ``O(Delta)``
+rounds).  :class:`ColoringPipeline` wires such sequences together: each
+stage's decoded output palette becomes the next stage's input palette.
+
+Stages may be actual stage objects or zero-argument factories (useful when a
+stage's constructor wants nothing but the pipeline should build a fresh one
+per run).
+"""
+
+from repro.runtime.engine import ColoringEngine
+
+__all__ = ["PipelineResult", "ColoringPipeline"]
+
+
+class PipelineResult:
+    """Outcome of a full pipeline run.
+
+    Attributes
+    ----------
+    colors:
+        Final integer coloring, indexed by vertex.
+    stage_results:
+        List of ``(stage, RunResult)`` pairs in execution order.
+    """
+
+    def __init__(self, colors, stage_results):
+        self.colors = colors
+        self.stage_results = stage_results
+
+    @property
+    def total_rounds(self):
+        """Rounds summed over every stage."""
+        return sum(result.rounds_used for _, result in self.stage_results)
+
+    @property
+    def total_bits(self):
+        """Bits summed over every stage."""
+        return sum(result.metrics.total_bits for _, result in self.stage_results)
+
+    @property
+    def total_messages(self):
+        """Messages summed over every stage."""
+        return sum(result.metrics.total_messages for _, result in self.stage_results)
+
+    @property
+    def num_colors(self):
+        """Distinct colors in the pipeline's final coloring."""
+        return len(set(self.colors))
+
+    def rounds_by_stage(self):
+        """Return ``{stage name: rounds used}`` preserving execution order."""
+        return {stage.name: result.rounds_used for stage, result in self.stage_results}
+
+    def to_dict(self):
+        """JSON-serializable summary of the whole pipeline run."""
+        return {
+            "colors": list(self.colors),
+            "num_colors": self.num_colors,
+            "total_rounds": self.total_rounds,
+            "total_bits": self.total_bits,
+            "stages": [
+                {
+                    "name": stage.name,
+                    "rounds": result.rounds_used,
+                    "out_palette": stage.out_palette_size,
+                    "bits": result.metrics.total_bits,
+                }
+                for stage, result in self.stage_results
+            ],
+        }
+
+    def __repr__(self):
+        return "PipelineResult(rounds=%d, colors=%d)" % (
+            self.total_rounds,
+            self.num_colors,
+        )
+
+
+class ColoringPipeline:
+    """A sequence of locally-iterative stages run back to back."""
+
+    def __init__(self, stages):
+        self._stages = list(stages)
+        if not self._stages:
+            raise ValueError("pipeline needs at least one stage")
+
+    @staticmethod
+    def _materialize(stage_or_factory):
+        from repro.runtime.algorithm import LocallyIterativeColoring
+
+        if isinstance(stage_or_factory, LocallyIterativeColoring):
+            return stage_or_factory
+        if callable(stage_or_factory):
+            return stage_or_factory()
+        return stage_or_factory
+
+    def run(
+        self,
+        graph,
+        initial_coloring,
+        in_palette_size=None,
+        visibility=None,
+        check_proper_each_round=False,
+        record_history=False,
+    ):
+        """Run every stage in order and return a :class:`PipelineResult`."""
+        kwargs = {
+            "check_proper_each_round": check_proper_each_round,
+            "record_history": record_history,
+        }
+        if visibility is not None:
+            kwargs["visibility"] = visibility
+        engine = ColoringEngine(graph, **kwargs)
+
+        colors = list(initial_coloring)
+        palette = in_palette_size
+        if palette is None:
+            palette = (max(colors) + 1) if colors else 1
+
+        stage_results = []
+        for stage_or_factory in self._stages:
+            stage = self._materialize(stage_or_factory)
+            result = engine.run(stage, colors, in_palette_size=palette)
+            stage_results.append((stage, result))
+            colors = result.int_colors
+            palette = stage.out_palette_size
+        return PipelineResult(colors, stage_results)

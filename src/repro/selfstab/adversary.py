@@ -1,0 +1,186 @@
+"""Seeded fault campaigns for exercising the self-stabilizing algorithms.
+
+The fully-dynamic adversary of Section 1.2.1 may, between rounds, make
+"arbitrary and completely unpredictable changes in the entire RAM" and
+rewire the topology within the ROM bounds.  :class:`FaultCampaign` packages
+the standard attack patterns used by tests, benchmarks and examples:
+
+* random RAM corruption (garbage colors, stolen neighbor colors — the
+  nastiest kind, since they create real conflicts),
+* vertex churn (crash / respawn),
+* edge churn (rewire links under the degree bound).
+
+Everything is driven by an explicit seed for reproducibility.
+"""
+
+import random
+
+__all__ = ["FaultCampaign", "TargetedAttacks"]
+
+
+class FaultCampaign:
+    """A reproducible source of faults against a SelfStabEngine."""
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def corrupt_random_rams(self, engine, count):
+        """Overwrite ``count`` random vertices' RAM with adversarial values.
+
+        Half the corruptions copy a neighbor's RAM (guaranteed conflicts),
+        half write garbage.
+        """
+        vertices = engine.graph.vertices()
+        if not vertices:
+            return []
+        hit = []
+        for _ in range(count):
+            v = self.rng.choice(vertices)
+            neighbors = engine.graph.neighbors(v)
+            if neighbors and self.rng.random() < 0.5:
+                engine.corrupt(v, engine.rams[self.rng.choice(neighbors)])
+            else:
+                engine.corrupt(v, self._garbage())
+            hit.append(v)
+        return hit
+
+    def _garbage(self):
+        choice = self.rng.randrange(4)
+        if choice == 0:
+            return self.rng.randrange(10 ** 9)
+        if choice == 1:
+            return -self.rng.randrange(1, 10 ** 6)
+        if choice == 2:
+            return ("junk", self.rng.randrange(100))
+        return None
+
+    def churn_vertices(self, engine, crashes=1, spawns=1):
+        """Crash random present vertices and spawn random absent ones."""
+        affected = []
+        for _ in range(crashes):
+            present = engine.graph.vertices()
+            if not present:
+                break
+            v = self.rng.choice(present)
+            engine.crash_vertex(v)
+            affected.append(v)
+        for _ in range(spawns):
+            absent = [
+                v
+                for v in range(engine.graph.n_bound)
+                if not engine.graph.is_present(v)
+            ]
+            if not absent:
+                break
+            v = self.rng.choice(absent)
+            engine.spawn_vertex(v)
+            # Attach somewhere legal so the new vertex participates.
+            candidates = [
+                u
+                for u in engine.graph.vertices()
+                if u != v
+                and engine.graph.degree(u) < engine.graph.delta_bound
+                and engine.graph.degree(v) < engine.graph.delta_bound
+            ]
+            self.rng.shuffle(candidates)
+            for u in candidates[:2]:
+                if engine.graph.degree(v) < engine.graph.delta_bound:
+                    engine.add_edge(u, v)
+            affected.append(v)
+        return affected
+
+    def churn_edges(self, engine, removals=1, additions=1):
+        """Remove random edges and add random legal ones."""
+        affected = []
+        for _ in range(removals):
+            edges = engine.graph.edges()
+            if not edges:
+                break
+            u, v = self.rng.choice(edges)
+            engine.remove_edge(u, v)
+            affected.extend((u, v))
+        for _ in range(additions):
+            present = engine.graph.vertices()
+            if len(present) < 2:
+                break
+            candidates = [
+                (u, v)
+                for u in present
+                for v in present
+                if u < v
+                and not engine.graph.has_edge(u, v)
+                and engine.graph.degree(u) < engine.graph.delta_bound
+                and engine.graph.degree(v) < engine.graph.delta_bound
+            ]
+            if not candidates:
+                break
+            u, v = self.rng.choice(candidates)
+            engine.add_edge(u, v)
+            affected.extend((u, v))
+        return affected
+
+
+class TargetedAttacks:
+    """Hand-crafted worst-case attack patterns (deterministic).
+
+    These target the algorithms' specific weak points rather than random
+    state: color theft creates guaranteed conflicts; reset storms force the
+    full interval descent; chain attacks try to build long dependency
+    cascades (they cannot — adjustment radii are constant — which is exactly
+    what the tests assert).
+    """
+
+    @staticmethod
+    def steal_colors_along_path(engine, path_vertices):
+        """Each vertex on the path copies its successor's RAM."""
+        hit = []
+        for a, b in zip(path_vertices, path_vertices[1:]):
+            if engine.graph.is_present(a) and engine.graph.is_present(b):
+                engine.corrupt(a, engine.rams[b])
+                hit.append(a)
+        return hit
+
+    @staticmethod
+    def clone_everything(engine, source=None):
+        """Overwrite every RAM with one vertex's RAM — maximal symmetry."""
+        vertices = engine.graph.vertices()
+        if not vertices:
+            return []
+        if source is None:
+            source = vertices[0]
+        value = engine.rams[source]
+        for v in vertices:
+            engine.corrupt(v, value)
+        return list(vertices)
+
+    @staticmethod
+    def descent_interruption(engine, victims, rounds_between=1):
+        """Re-corrupt the same victims every few rounds mid-descent."""
+        for _ in range(3):
+            for v in victims:
+                if engine.graph.is_present(v):
+                    engine.corrupt(v, ("interrupted",))
+            for _ in range(rounds_between):
+                engine.step()
+        return list(victims)
+
+    @staticmethod
+    def isolate_and_reconnect(engine, vertex):
+        """Drop all of a vertex's links, then wire it back elsewhere."""
+        graph = engine.graph
+        if not graph.is_present(vertex):
+            return []
+        old_neighbors = list(graph.neighbors(vertex))
+        for u in old_neighbors:
+            engine.remove_edge(vertex, u)
+        candidates = [
+            u
+            for u in graph.vertices()
+            if u != vertex
+            and not graph.has_edge(vertex, u)
+            and graph.degree(u) < graph.delta_bound
+        ]
+        for u in candidates[: graph.delta_bound]:
+            if graph.degree(vertex) < graph.delta_bound:
+                engine.add_edge(vertex, u)
+        return [vertex] + old_neighbors

@@ -1,0 +1,142 @@
+"""Fully-dynamic self-stabilizing O(Delta)-coloring (Section 4.1, Lemma 4.2).
+
+The RAM of a vertex is a single color in the interval plan's global range.
+Every round, Procedure Self-Stabilizing-Coloring runs:
+
+1. **Check-Error** — a color that is invalid (corrupted beyond the range) or
+   equal to a neighbor's color resets to the vertex's ID slot in ``I_r``;
+2. otherwise the vertex descends: Mod-Linial for ``I_j`` with ``j >= 2``,
+   Excl-Linial with the forbidden set ``S'`` (all possible next colors of
+   ``I_0`` neighbors — rotate and finalize, two per neighbor) for ``I_1``,
+   and the uniform AG step inside ``I_0``.
+
+Once faults stop: conflicting vertices reset in one round; colors then drain
+down the intervals in ``r = log* n + O(1)`` rounds; and the AG core
+finalizes everyone within ``Q = O(Delta)`` more rounds (Lemma 4.2's
+``O(Delta + log* n)`` stabilization).  Only vertices adjacent to a fault can
+ever detect an error, and finalized AG colors never move, so the adjustment
+radius is 1 (Theorem 4.3's argument).
+"""
+
+from repro.linial.core import linial_next_color
+from repro.selfstab.engine import SelfStabAlgorithm
+from repro.selfstab.plan import IntervalPlan
+
+__all__ = ["SelfStabColoring"]
+
+
+class SelfStabColoring(SelfStabAlgorithm):
+    """Self-stabilizing proper ``Q``-coloring, ``Q = O(Delta)`` prime."""
+
+    name = "selfstab-coloring"
+
+    def __init__(self, n_bound, delta_bound):
+        super().__init__(n_bound, delta_bound)
+        # The AG core field Q doubles as the landing field: it needs
+        # Q >= 2 * Delta + 1 for AG's two-conflicts-per-window argument and
+        # Q >= 4 * Delta + 1 for the landing step (2*Delta agreements +
+        # 2*Delta forbidden colors); the plan helper enforces both.
+        q = IntervalPlan.landing_field_for(
+            delta_bound, self._i1_size(n_bound, delta_bound), 2 * delta_bound + 1
+        )
+        self.q = q
+        self.plan = IntervalPlan(
+            n_bound,
+            delta_bound,
+            core_size=q * q,
+            landing_q=q,
+            landing_points=q,
+        )
+
+    @staticmethod
+    def _i1_size(n_bound, delta_bound):
+        from repro.linial.plan import linial_plan
+
+        iterations = linial_plan(max(2, n_bound), delta_bound)
+        return iterations[-1].out_palette if iterations else max(2, n_bound)
+
+    # -- SelfStabAlgorithm interface ----------------------------------------------
+
+    def fresh_ram(self, vertex):
+        return self.plan.reset_color(vertex)
+
+    def visible(self, vertex, ram):
+        return ram
+
+    def transition(self, vertex, ram, neighbor_visibles):
+        plan = self.plan
+        color = ram
+        level = plan.level_of(color)
+        # Check-Error: invalid or conflicting colors reset to the ID slot.
+        if level is None or any(color == other for other in neighbor_visibles):
+            return plan.reset_color(vertex)
+
+        local = color - plan.offsets[level]
+        valid_neighbors = [
+            (plan.level_of(c), c) for c in neighbor_visibles
+        ]
+        if level >= 2:
+            iteration = plan.descent_iteration(level)
+            same_level = [
+                c - plan.offsets[level]
+                for lv, c in valid_neighbors
+                if lv == level
+            ]
+            new_local = linial_next_color(
+                local, same_level, iteration.q, iteration.degree
+            )
+            return plan.to_global(level - 1, new_local)
+        if level == 1:
+            same_level = [
+                c - plan.offsets[1] for lv, c in valid_neighbors if lv == 1
+            ]
+            forbidden = set()
+            for lv, c in valid_neighbors:
+                if lv == 0:
+                    forbidden.update(self._core_candidates(c - plan.offsets[0]))
+            new_local = linial_next_color(
+                local, same_level, self.q, 2, forbidden=frozenset(forbidden)
+            )
+            return plan.to_global(0, new_local)
+        # level == 0: the uniform AG step.
+        core_neighbors = [
+            c - plan.offsets[0] for lv, c in valid_neighbors if lv == 0
+        ]
+        return plan.to_global(0, self._ag_step(local, core_neighbors))
+
+    def _ag_step(self, local, core_neighbors):
+        q = self.q
+        a, b = divmod(local, q)
+        conflict = any(nb % q == b for nb in core_neighbors)
+        if conflict:
+            return a * q + (b + a) % q
+        return b  # <0, b>
+
+    def _core_candidates(self, local):
+        """The <= 2 colors an I_0 neighbor may hold next round (the set S')."""
+        q = self.q
+        a, b = divmod(local, q)
+        return (a * q + (b + a) % q, b)
+
+    def is_legal(self, graph, rams):
+        """Proper coloring with every color finalized in the AG core."""
+        offset = self.plan.offsets[0]
+        for v in graph.vertices():
+            color = rams.get(v)
+            if self.plan.level_of(color) != 0:
+                return False
+            if (color - offset) // self.q != 0:  # not finalized
+                return False
+        for v in graph.vertices():
+            for u in graph.neighbors(v):
+                if rams[u] == rams[v]:
+                    return False
+        return True
+
+    def final_colors(self, graph, rams):
+        """Extract the ``[0, Q)`` palette colors from a legal state."""
+        offset = self.plan.offsets[0]
+        return {v: (rams[v] - offset) % self.q for v in graph.vertices()}
+
+    def stabilization_bound(self):
+        return self.plan.levels + 3 * self.q + 16

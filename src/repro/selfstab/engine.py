@@ -1,0 +1,201 @@
+"""The self-stabilizing execution engine.
+
+Synchronous rounds over a :class:`~repro.runtime.graph.DynamicGraph`:
+
+1. every present vertex broadcasts ``visible(ram)`` to its neighbors;
+2. every present vertex simultaneously computes
+   ``transition(vertex, ram, neighbor_visibles)``;
+3. the adversary may then do anything: overwrite RAMs, crash / spawn
+   vertices, rewire edges (within the ROM bounds).
+
+The engine measures *stabilization time* (rounds from the last fault until
+the global state is legal and quiescent — for the deterministic algorithms
+here a legal fixed point never moves again) and *adjustment radius* (how far
+from the faults RAM changes propagate).
+"""
+
+from abc import ABC, abstractmethod
+
+from repro.errors import NotStabilizedError
+
+__all__ = ["SelfStabAlgorithm", "SelfStabEngine"]
+
+
+class SelfStabAlgorithm(ABC):
+    """One self-stabilizing protocol: RAM layout, step rule, legality.
+
+    ``rom`` holds the hard-wired parameters (``n_bound``, ``delta_bound``);
+    vertex IDs are the vertex numbers of the dynamic graph (also ROM).
+    """
+
+    name = "selfstab"
+
+    def __init__(self, n_bound, delta_bound):
+        self.n_bound = n_bound
+        self.delta_bound = delta_bound
+
+    @abstractmethod
+    def fresh_ram(self, vertex):
+        """RAM contents for a vertex that just (re)joined the network.
+
+        Correctness may not depend on this value — the adversary can
+        overwrite it — but a sensible default speeds up convergence.
+        """
+
+    @abstractmethod
+    def visible(self, vertex, ram):
+        """The message broadcast to all neighbors this round."""
+
+    @abstractmethod
+    def transition(self, vertex, ram, neighbor_visibles):
+        """The new RAM, computed from own RAM and neighbor messages only."""
+
+    @abstractmethod
+    def is_legal(self, graph, rams):
+        """Whether the global state satisfies the problem's specification."""
+
+    def stabilization_bound(self):
+        """A generous cap on stabilization time used by the runner."""
+        return 30 * (self.delta_bound + 1) + 8 * max(
+            1, self.n_bound
+        ).bit_length() + 60
+
+
+class SelfStabEngine:
+    """Runs a :class:`SelfStabAlgorithm` under adversarial faults."""
+
+    def __init__(self, graph, algorithm, set_visibility=False):
+        """``set_visibility=True`` delivers each vertex the *frozenset* of
+        neighbor messages (the SET-LOCAL discipline of Section 1.2.3); the
+        interval-descent algorithms only ever test membership, so they run
+        unchanged — asserted in the test suite."""
+        self.graph = graph
+        self.algorithm = algorithm
+        self.set_visibility = set_visibility
+        self.rams = {v: algorithm.fresh_ram(v) for v in graph.vertices()}
+        self.round_count = 0
+        self._touched = set()  # vertices whose RAM changed since last reset
+        self.max_message_bits = 0  # largest broadcast payload seen (CONGEST check)
+
+    # -- adversary API ---------------------------------------------------------
+
+    def corrupt(self, vertex, ram):
+        """Overwrite a vertex's RAM with an arbitrary value."""
+        if not self.graph.is_present(vertex):
+            raise ValueError("vertex %d is not present" % vertex)
+        self.rams[vertex] = ram
+        self._touched.add(vertex)
+
+    def spawn_vertex(self, vertex):
+        """Dynamic update: a vertex appears (with fresh RAM)."""
+        self.graph.add_vertex(vertex)
+        if vertex not in self.rams:
+            self.rams[vertex] = self.algorithm.fresh_ram(vertex)
+        self._touched.add(vertex)
+
+    def crash_vertex(self, vertex):
+        """Dynamic update: a vertex crashes, taking its edges with it."""
+        neighbors = self.graph.neighbors(vertex)
+        self.graph.remove_vertex(vertex)
+        self.rams.pop(vertex, None)
+        self._touched.update(neighbors)
+
+    def add_edge(self, u, v):
+        """Dynamic update: a link appears (within the Delta bound)."""
+        self.graph.add_edge(u, v)
+        self._touched.update((u, v))
+
+    def remove_edge(self, u, v):
+        """Dynamic update: a link disappears."""
+        self.graph.remove_edge(u, v)
+        self._touched.update((u, v))
+
+    # -- execution --------------------------------------------------------------
+
+    @staticmethod
+    def _payload_bits(value):
+        """Size of a broadcast message in bits (the self-stab algorithms
+        broadcast a single color, or a (color, status) pair — all O(log n))."""
+        if isinstance(value, bool) or value is None:
+            return 1
+        if isinstance(value, int):
+            return max(1, abs(value).bit_length() + 1)
+        if isinstance(value, str):
+            return 8 * len(value)
+        if isinstance(value, (tuple, list)):
+            return sum(SelfStabEngine._payload_bits(item) for item in value)
+        return 64  # unknown/corrupted payloads: charge a flat word
+
+    def step(self):
+        """One fault-free synchronous round; returns the set of changed vertices."""
+        algorithm = self.algorithm
+        vertices = self.graph.vertices()
+        visible = {v: algorithm.visible(v, self.rams[v]) for v in vertices}
+        for v in vertices:
+            if self.graph.degree(v):
+                self.max_message_bits = max(
+                    self.max_message_bits, self._payload_bits(visible[v])
+                )
+        changed = set()
+        new_rams = {}
+        for v in vertices:
+            neighbor_visibles = tuple(
+                visible[u] for u in self.graph.neighbors(v)
+            )
+            if self.set_visibility:
+                neighbor_visibles = frozenset(neighbor_visibles)
+            new_ram = algorithm.transition(v, self.rams[v], neighbor_visibles)
+            new_rams[v] = new_ram
+            if new_ram != self.rams[v]:
+                changed.add(v)
+        self.rams.update(new_rams)
+        self.round_count += 1
+        self._touched.update(changed)
+        return changed
+
+    def is_legal(self):
+        """Whether the current global state satisfies the specification."""
+        return self.algorithm.is_legal(self.graph, self.rams)
+
+    def run_to_quiescence(self, max_rounds=None):
+        """Run fault-free rounds until legal and fixed; return rounds used.
+
+        The transition is deterministic, so a round with no RAM change is a
+        fixed point: the state can never change again without a fault.
+        Raises :class:`~repro.errors.NotStabilizedError` past ``max_rounds``.
+        """
+        bound = max_rounds or self.algorithm.stabilization_bound()
+        for rounds_used in range(bound + 1):
+            snapshot_changed = self.step()
+            if not snapshot_changed and self.is_legal():
+                return rounds_used + 1
+        raise NotStabilizedError(
+            "%s not stabilized after %d rounds (legal=%s)"
+            % (self.algorithm.name, bound + 1, self.is_legal())
+        )
+
+    # -- measurement -------------------------------------------------------------
+
+    def reset_touched(self):
+        """Start a fresh adjustment-radius measurement window."""
+        self._touched = set()
+
+    @property
+    def touched(self):
+        """Vertices whose RAM changed (by fault or rule) since the last reset."""
+        return set(self._touched)
+
+    def adjustment_radius(self, fault_sources):
+        """Max distance from ``fault_sources`` of any touched vertex.
+
+        Call ``reset_touched`` right after injecting a localized fault, run to
+        quiescence, then call this.  Unreachable touched vertices count as
+        infinity (never expected for the algorithms here).
+        """
+        distances = self.graph.bfs_distances(fault_sources)
+        radius = 0
+        for v in self._touched:
+            if v not in distances:
+                return float("inf")
+            radius = max(radius, distances[v])
+        return radius

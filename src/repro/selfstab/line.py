@@ -1,0 +1,200 @@
+"""Self-stabilizing maximal matching and edge coloring via line-graph simulation.
+
+Section 4.2: each vertex simulates one virtual vertex per incident edge; the
+endpoints keep the virtual state consistent (the higher-ID endpoint copies
+the lower's copy), after which a self-stabilizing MIS on the line graph *is*
+a maximal matching and a self-stabilizing vertex coloring of the line graph
+*is* an edge coloring (Theorem 4.7).
+
+:class:`LineGraphMirror` maintains the dynamic line graph: virtual vertex
+``u * n_bound + v`` stands for edge ``(u, v)``, ``u < v``; the consistency
+copy is instantaneous in the simulation (one extra round in a real network —
+a constant the theorems absorb).  The wrappers re-sync the mirror after base
+topology changes and delegate fault injection and quiescence measurement to
+the underlying :class:`~repro.selfstab.engine.SelfStabEngine`.
+"""
+
+from repro.runtime.graph import DynamicGraph
+from repro.selfstab.coloring import SelfStabColoring
+from repro.selfstab.engine import SelfStabEngine
+from repro.selfstab.exact import SelfStabExactColoring
+from repro.selfstab.mis import SelfStabMIS
+
+__all__ = ["LineGraphMirror", "SelfStabMaximalMatching", "SelfStabEdgeColoring"]
+
+
+class LineGraphMirror:
+    """A DynamicGraph mirroring the line graph of a base DynamicGraph."""
+
+    def __init__(self, base):
+        self.base = base
+        self.n_bound = base.n_bound * base.n_bound
+        self.delta_bound = max(0, 2 * (base.delta_bound - 1))
+        self.line = DynamicGraph(self.n_bound, self.delta_bound)
+
+    def slot(self, u, v):
+        """The virtual-vertex id of base edge ``(u, v)``."""
+        a, b = (u, v) if u < v else (v, u)
+        return a * self.base.n_bound + b
+
+    def edge_of(self, slot):
+        """The base edge a virtual vertex stands for."""
+        return divmod(slot, self.base.n_bound)
+
+    def desired_state(self):
+        """The line graph the current base topology implies."""
+        base_edges = self.base.edges()
+        vertices = {self.slot(u, v) for u, v in base_edges}
+        incident = {}
+        for u, v in base_edges:
+            s = self.slot(u, v)
+            incident.setdefault(u, []).append(s)
+            incident.setdefault(v, []).append(s)
+        edges = set()
+        for slots in incident.values():
+            for i in range(len(slots)):
+                for j in range(i + 1, len(slots)):
+                    a, b = slots[i], slots[j]
+                    edges.add((a, b) if a < b else (b, a))
+        return vertices, edges
+
+    def sync(self, engine):
+        """Reconcile the mirror with the base topology through ``engine``.
+
+        Uses the engine's fault API so RAM bookkeeping and touched-set
+        tracking stay accurate.  Returns the set of affected virtual
+        vertices.
+        """
+        desired_vertices, desired_edges = self.desired_state()
+        current_vertices = set(self.line.vertices())
+        current_edges = set(self.line.edges())
+        affected = set()
+        for s in current_vertices - desired_vertices:
+            engine.crash_vertex(s)
+            affected.add(s)
+        for a, b in current_edges - desired_edges:
+            if a in desired_vertices and b in desired_vertices:
+                engine.remove_edge(a, b)
+                affected.update((a, b))
+        for s in desired_vertices - current_vertices:
+            engine.spawn_vertex(s)
+            affected.add(s)
+        for a, b in desired_edges - current_edges:
+            engine.add_edge(a, b)
+            affected.update((a, b))
+        return affected
+
+
+class _LineProtocol:
+    """Shared plumbing for the two line-graph wrappers.
+
+    Models the paper's consistency rule explicitly: each endpoint holds a
+    copy of the virtual vertex's state, and in every round "the endpoint
+    with greater ID copies the state of the other endpoint" — i.e. the
+    smaller endpoint's copy is authoritative.  A fault hitting the greater
+    endpoint's copy is healed by the copy rule within the same round and
+    never reaches the algorithm; a fault hitting the smaller endpoint's copy
+    *is* the virtual vertex's new state.
+    """
+
+    def __init__(self, base, algorithm):
+        self.base = base
+        self.mirror = LineGraphMirror(base)
+        self.algorithm = algorithm
+        self.engine = SelfStabEngine(self.mirror.line, algorithm)
+        # Pending desyncs of the greater endpoint's copy, healed next round.
+        self._secondary_desyncs = {}
+        self.sync_topology()
+
+    def sync_topology(self):
+        """Call after mutating the base graph."""
+        return self.mirror.sync(self.engine)
+
+    def _resolve_copies(self):
+        """The consistency round: greater endpoints adopt the smaller's copy."""
+        healed = list(self._secondary_desyncs)
+        self._secondary_desyncs.clear()
+        return healed
+
+    def step(self):
+        self._resolve_copies()
+        return self.engine.step()
+
+    def run_to_quiescence(self, max_rounds=None):
+        self._resolve_copies()
+        return self.engine.run_to_quiescence(max_rounds=max_rounds)
+
+    def is_legal(self):
+        """Legal requires algorithmic legality AND consistent copies."""
+        return not self._secondary_desyncs and self.engine.is_legal()
+
+    def corrupt_edge(self, u, v, ram):
+        """Corrupt the *authoritative* (smaller-endpoint) copy of edge (u,v)."""
+        self.engine.corrupt(self.mirror.slot(u, v), ram)
+
+    def corrupt_edge_copy(self, u, v, holder, ram):
+        """Corrupt one endpoint's copy of edge ``(u, v)``.
+
+        ``holder`` selects whose copy: the smaller endpoint's copy is
+        authoritative (equivalent to :meth:`corrupt_edge`); the greater
+        endpoint's copy is healed by the consistency rule one round later
+        without ever influencing the algorithm.
+        """
+        a, b = (u, v) if u < v else (v, u)
+        if holder == a:
+            self.corrupt_edge(u, v, ram)
+        elif holder == b:
+            self._secondary_desyncs[self.mirror.slot(u, v)] = ram
+        else:
+            raise ValueError("holder %r is not an endpoint of (%r, %r)" % (holder, u, v))
+
+
+class SelfStabMaximalMatching(_LineProtocol):
+    """Self-stabilizing maximal matching: MIS on the line graph.
+
+    Stabilization ``O(Delta + log* n)`` (Theorem 4.7); adjustment radius 3 in
+    the base graph (radius-2 MIS changes on the line graph reach one base hop
+    further).
+    """
+
+    def __init__(self, base):
+        mirror_probe = LineGraphMirror(base)
+        algorithm = SelfStabMIS(mirror_probe.n_bound, mirror_probe.delta_bound)
+        super().__init__(base, algorithm)
+
+    def matching(self):
+        """The matched base edges of the current (legal) state."""
+        members = self.algorithm.mis_members(self.mirror.line, self.engine.rams)
+        return sorted(self.mirror.edge_of(s) for s in members)
+
+
+class SelfStabEdgeColoring(_LineProtocol):
+    """Self-stabilizing edge coloring: vertex coloring of the line graph.
+
+    With ``exact=True`` uses the exact core: ``Delta_L + 1 <= 2 * Delta - 1``
+    colors (Theorem 4.7 / 7.5); otherwise the AG core with ``O(Delta)``
+    colors and a smaller constant round count.
+    """
+
+    def __init__(self, base, exact=True, constant_memory=False):
+        mirror_probe = LineGraphMirror(base)
+        if constant_memory:
+            from repro.selfstab.lowmem import (
+                SelfStabColoringConstantMemory,
+                SelfStabExactColoringConstantMemory,
+            )
+
+            factory = (
+                SelfStabExactColoringConstantMemory
+                if exact
+                else SelfStabColoringConstantMemory
+            )
+        else:
+            factory = SelfStabExactColoring if exact else SelfStabColoring
+        algorithm = factory(mirror_probe.n_bound, mirror_probe.delta_bound)
+        super().__init__(base, algorithm)
+
+    def edge_colors(self):
+        """``{(u, v): color}`` of the current (legal) state."""
+        finals = self.algorithm.final_colors(self.mirror.line, self.engine.rams)
+        return {self.mirror.edge_of(s): c for s, c in finals.items()}

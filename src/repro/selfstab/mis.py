@@ -1,0 +1,120 @@
+"""Self-stabilizing maximal independent set (Section 4.2, Theorems 4.5/4.6).
+
+Runs the self-stabilizing coloring in one RAM field and an MIS status
+machine in another.  Statuses are ``MIS``, ``NOTMIS`` and ``UND``
+(undecided); every round, alongside the coloring step:
+
+* two adjacent ``MIS`` vertices both become ``UND`` (independence repair);
+* a ``NOTMIS`` vertex with no ``MIS`` neighbor becomes ``UND`` (maximality
+  repair);
+* an ``UND`` vertex with an ``MIS`` neighbor becomes ``NOTMIS``;
+* an ``UND`` vertex with no ``MIS`` neighbor whose color is smaller than all
+  its undecided neighbors' colors joins the MIS.
+
+Once the coloring stabilizes (proper, finalized), color classes are
+processed implicitly in color order and the MIS stabilizes within
+``O(Delta)`` further rounds (Theorem 4.5).  A vertex in the MIS whose
+1-neighborhood is fault-free stays in the MIS, and a NOTMIS vertex with a
+stable 2-neighborhood keeps its witness — adjustment radius 2
+(Theorem 4.6).
+"""
+
+from repro.analysis.invariants import is_maximal_independent_set
+from repro.selfstab.coloring import SelfStabColoring
+from repro.selfstab.engine import SelfStabAlgorithm
+
+__all__ = ["SelfStabMIS"]
+
+MIS = "MIS"
+NOTMIS = "NOTMIS"
+UND = "UND"
+_STATUSES = (MIS, NOTMIS, UND)
+
+
+class SelfStabMIS(SelfStabAlgorithm):
+    """Self-stabilizing MIS with O(Delta + log* n) stabilization time.
+
+    RAM: ``(color, status)``.  The coloring sub-protocol may be swapped
+    (e.g. for the exact variant) via ``coloring_factory``.
+    """
+
+    name = "selfstab-mis"
+
+    def __init__(self, n_bound, delta_bound, coloring_factory=SelfStabColoring):
+        super().__init__(n_bound, delta_bound)
+        self.coloring = coloring_factory(n_bound, delta_bound)
+
+    def fresh_ram(self, vertex):
+        return (self.coloring.fresh_ram(vertex), UND)
+
+    def visible(self, vertex, ram):
+        return ram
+
+    @staticmethod
+    def _sanitize(ram):
+        """Map corrupted RAM shapes to something the rules can process."""
+        if (
+            isinstance(ram, tuple)
+            and len(ram) == 2
+            and ram[1] in _STATUSES
+        ):
+            return ram
+        if isinstance(ram, tuple) and len(ram) == 2:
+            return (ram[0], UND)
+        return (ram, UND)
+
+    def transition(self, vertex, ram, neighbor_visibles):
+        color, status = self._sanitize(ram)
+        neighbor_states = [self._sanitize(nv) for nv in neighbor_visibles]
+        neighbor_colors = tuple(c for c, _ in neighbor_states)
+
+        new_color = self.coloring.transition(vertex, color, neighbor_colors)
+
+        any_mis = any(s == MIS for _, s in neighbor_states)
+        if status == MIS:
+            new_status = UND if any_mis else MIS
+        elif status == NOTMIS:
+            new_status = NOTMIS if any_mis else UND
+        else:  # UND
+            if any_mis:
+                new_status = NOTMIS
+            else:
+                und_colors = [
+                    c
+                    for c, s in neighbor_states
+                    if s == UND and isinstance(c, int)
+                ]
+                if isinstance(color, int) and all(color < c for c in und_colors):
+                    new_status = MIS
+                else:
+                    new_status = UND
+        return (new_color, new_status)
+
+    def is_legal(self, graph, rams):
+        colors = {}
+        statuses = {}
+        for v in graph.vertices():
+            color, status = self._sanitize(rams.get(v))
+            colors[v] = color
+            statuses[v] = status
+        if not self.coloring.is_legal(graph, colors):
+            return False
+        if any(statuses[v] == UND for v in graph.vertices()):
+            return False
+        members = {v for v in graph.vertices() if statuses[v] == MIS}
+        snapshot, index = graph.snapshot()
+        return is_maximal_independent_set(
+            snapshot, {index[v] for v in members}
+        )
+
+    def mis_members(self, graph, rams):
+        """The MIS vertex set of a (legal) state."""
+        return {
+            v
+            for v in graph.vertices()
+            if self._sanitize(rams[v])[1] == MIS
+        }
+
+    def stabilization_bound(self):
+        palette = getattr(self.coloring, "q", None) or getattr(self.coloring, "p")
+        return self.coloring.stabilization_bound() + 3 * palette + 16

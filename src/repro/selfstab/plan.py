@@ -1,0 +1,147 @@
+"""The Mod-Linial interval plan (Section 4.1).
+
+Colors live in one global range partitioned into disjoint intervals
+``I_0, I_1, ..., I_r``:
+
+* ``I_r`` holds the initial/reset colors (one per ID, size ``n_bound``);
+* ``I_j`` for ``2 <= j < r`` holds the palette of a Linial iteration;
+  a vertex there applies Mod-Linial and lands in ``I_{j-1}``;
+* ``I_1`` is the last Linial palette; leaving it requires Excl-Linial with a
+  forbidden set ``S'`` — the possible next colors of neighbors already in
+  ``I_0`` — so arrivals never collide with the core's evolution;
+* ``I_0`` is the core where the AG machinery runs forever.
+
+The plan is derived purely from ``(n_bound, delta_bound)`` — ROM contents —
+so every vertex reconstructs it identically with no communication, and a
+vertex can classify any (possibly corrupted) color value into its interval,
+or reject it as invalid, locally.
+
+Two cores exist: the plain AG core (``O(Delta)`` colors, Lemma 4.2) and the
+extended hybrid core (exactly ``Delta + 1`` colors, Theorem 7.5); they share
+this plan, differing in the ``I_0`` size and the landing rule.
+"""
+
+from repro.linial.plan import integer_root_ceiling, linial_plan
+from repro.mathutil.primes import next_prime_at_least
+
+__all__ = ["IntervalPlan"]
+
+_LANDING_DEGREE = 2
+
+
+class IntervalPlan:
+    """Interval layout plus the per-level Linial parameters.
+
+    Parameters
+    ----------
+    n_bound, delta_bound:
+        The ROM bounds.
+    core_size:
+        Size of ``I_0`` (the AG pair space or the hybrid state space).
+    landing_q:
+        Field size of the Excl-Linial landing step (level 1 -> 0); must
+        satisfy ``landing_q^(d+1) >= size(I_1)`` and leave room for
+        ``d * Delta`` agreements plus ``2 * Delta`` forbidden colors.
+    landing_points:
+        How many evaluation points the landing step may use (the hybrid core
+        reserves the point ``x = landing_q - 1`` so that ``b = x + 1`` stays
+        in ``[1, landing_q - 1]``).
+    """
+
+    def __init__(self, n_bound, delta_bound, core_size, landing_q, landing_points):
+        self.n_bound = n_bound
+        self.delta_bound = delta_bound
+        self.core_size = core_size
+        self.landing_q = landing_q
+        self.landing_points = landing_points
+
+        # Standard Linial cascade from the ID space down to its fixpoint,
+        # which becomes I_1.
+        self.iterations = linial_plan(max(2, n_bound), delta_bound)
+        sizes = [core_size]  # I_0
+        if self.iterations:
+            sizes.append(self.iterations[-1].out_palette)  # I_1
+            for it in reversed(self.iterations):
+                sizes.append(it.in_palette)  # I_2 .. I_r (I_r = ID space)
+        else:
+            sizes.append(max(2, n_bound))  # I_1 = ID space directly
+        self.sizes = sizes
+        self.offsets = []
+        total = 0
+        for size in sizes:
+            self.offsets.append(total)
+            total += size
+        self.total_size = total
+        self.levels = len(sizes)  # r + 1
+
+        d = _LANDING_DEGREE
+        if landing_q ** (d + 1) < self.sizes[1]:
+            raise ValueError(
+                "landing field %d^3 cannot encode I_1 of size %d"
+                % (landing_q, self.sizes[1])
+            )
+        if landing_points < d * delta_bound + 2 * delta_bound + 1:
+            raise ValueError(
+                "landing step needs %d points, only %d available"
+                % (d * delta_bound + 2 * delta_bound + 1, landing_points)
+            )
+
+    # -- classification ----------------------------------------------------------
+
+    def level_of(self, color):
+        """Interval index of a color, or None for invalid values."""
+        if not isinstance(color, int) or not (0 <= color < self.total_size):
+            return None
+        for j in range(self.levels - 1, -1, -1):
+            if color >= self.offsets[j]:
+                return j
+        return None
+
+    def to_local(self, color):
+        """Split a valid global color into ``(level, local color)``."""
+        level = self.level_of(color)
+        return level, color - self.offsets[level]
+
+    def to_global(self, level, local):
+        """Compose a global color from an interval index and a local color."""
+        if not (0 <= local < self.sizes[level]):
+            raise ValueError(
+                "local color %d out of range for level %d (size %d)"
+                % (local, level, self.sizes[level])
+            )
+        return self.offsets[level] + local
+
+    def reset_color(self, vertex):
+        """The initial-state color of a vertex: its ID slot in I_r."""
+        return self.offsets[self.levels - 1] + vertex
+
+    def descent_iteration(self, level):
+        """The Linial iteration mapping interval ``level`` to ``level - 1``.
+
+        Defined for ``2 <= level <= r``; level 1 uses the landing step.
+        """
+        if not (2 <= level <= self.levels - 1):
+            raise ValueError("no descent iteration for level %d" % level)
+        # iterations[k] maps level (r - k) -> (r - k - 1).
+        k = (self.levels - 1) - level
+        return self.iterations[k]
+
+    @classmethod
+    def landing_field_for(cls, delta_bound, i1_size, extra_floor=0):
+        """Smallest prime with enough points and encoding capacity."""
+        d = _LANDING_DEGREE
+        floor = max(
+            d * delta_bound + 2 * delta_bound + 2,
+            integer_root_ceiling(max(2, i1_size), d + 1),
+            extra_floor,
+            2,
+        )
+        return next_prime_at_least(floor)
+
+    def __repr__(self):
+        return "IntervalPlan(levels=%d, total=%d, core=%d, landing_q=%d)" % (
+            self.levels,
+            self.total_size,
+            self.core_size,
+            self.landing_q,
+        )

@@ -1,0 +1,224 @@
+"""Tests for the Additive-Group algorithm (Section 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.core.ag import AdditiveGroupColoring, ag_prime_for
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.mathutil.primes import is_prime
+from repro.runtime import ColoringEngine, Visibility
+from tests.conftest import assert_proper, id_coloring
+
+
+class TestPrimeSelection:
+    def test_prime_dominates_both_floors(self):
+        for k, delta in [(100, 3), (4, 10), (400, 9), (1, 0)]:
+            q = ag_prime_for(k, delta)
+            assert is_prime(q)
+            assert q * q >= k
+            assert q >= 2 * delta + 1
+
+    def test_theta_delta_squared_regime(self):
+        # k = Theta(Delta^2) => q in [sqrt(k), 2 sqrt(k)] (Bertrand).
+        for delta in (5, 10, 20, 40):
+            k = (2 * delta + 1) ** 2
+            q = ag_prime_for(k, delta)
+            assert q <= 2 * (2 * delta + 1)
+
+
+class TestAGOnFixedGraphs:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(20),
+            cycle_graph(21),
+            star_graph(15),
+            complete_graph(8),
+            gnp_graph(50, 0.12, seed=1),
+            random_regular(40, 6, seed=2),
+        ],
+        ids=["path", "cycle", "star", "clique", "gnp", "regular"],
+    )
+    def test_proper_every_round_and_palette(self, graph):
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupColoring()
+        result = engine.run(stage, id_coloring(graph))
+        assert_proper(graph, result.int_colors, "AG output")
+        assert max(result.int_colors, default=0) < stage.q
+        assert result.rounds_used <= stage.q
+
+    def test_corollary_3_5_palette_is_o_sqrt_k(self):
+        graph = random_regular(60, 6, seed=3)
+        delta = graph.max_degree
+        k = (2 * delta + 1) ** 2
+        # Build a proper k-coloring spread over the whole palette.
+        rng = random.Random(0)
+        base = id_coloring(graph)
+        spread = sorted(rng.sample(range(k), graph.n))
+        coloring = [spread[c] for c in base]
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupColoring()
+        result = engine.run(stage, coloring, in_palette_size=k)
+        assert_proper(graph, result.int_colors)
+        assert stage.q <= 2 * (2 * delta + 1)  # O(sqrt(k)) colors
+
+    def test_rejects_color_outside_q_squared(self):
+        graph = path_graph(2)
+        stage = AdditiveGroupColoring()
+        engine = ColoringEngine(graph)
+        with pytest.raises(ValueError):
+            engine.run(stage, [0, 10 ** 9], in_palette_size=2)
+
+
+class TestAGSemantics:
+    def test_step_ignores_round_index(self):
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(10, 2, 25))
+        color = (2, 3)
+        neighborhood = ((1, 3),)
+        assert stage.step(0, color, neighborhood) == stage.step(99, color, neighborhood)
+        assert stage.uniform_step
+
+    def test_conflict_rotates_second_coordinate(self):
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(10, 2, 25))
+        q = stage.q
+        assert stage.step(0, (2, 3), ((4, 3),)) == (2, (3 + 2) % q)
+
+    def test_no_conflict_finalizes(self):
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(10, 2, 25))
+        assert stage.step(0, (2, 3), ((4, 1),)) == (0, 3)
+
+    def test_finalized_vertex_is_fixed_point_of_the_uniform_step(self):
+        # The self-stabilization prerequisite: running the step forever on a
+        # finalized color never changes it, conflict or not.
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(10, 2, 25))
+        assert stage.step(0, (0, 3), ((1, 3),)) == (0, 3)
+        assert stage.step(0, (0, 3), ((1, 2),)) == (0, 3)
+
+    def test_lemma_3_3_working_neighbors_conflict_once_per_q_rounds(self):
+        # Two adjacent working vertices: second coordinates coincide at most
+        # once within q rounds.
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(2, 1, 49))
+        q = stage.q
+        a_u, a_v = 2, 5
+        conflicts = 0
+        b_u = b_v = 3  # start in conflict
+        for _ in range(q):
+            if b_u == b_v:
+                conflicts += 1
+            b_u = (b_u + a_u) % q
+            b_v = (b_v + a_v) % q
+        assert conflicts == 1
+
+    def test_lemma_3_4_working_vs_final_conflict_once_per_q_rounds(self):
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(2, 1, 49))
+        q = stage.q
+        final_b = 4
+        b, a = 0, 3
+        conflicts = sum(
+            1
+            for i in range(q)
+            if (b + i * a) % q == final_b
+        )
+        assert conflicts == 1
+
+    def test_message_bits_one_after_first_round(self):
+        stage = AdditiveGroupColoring()
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage.configure(NetworkInfo(100, 5, 121))
+        assert stage.message_bits(0) > 1
+        assert stage.message_bits(1) == 1
+        assert stage.message_bits(50) == 1
+
+
+class TestAGInSetLocal:
+    def test_set_local_equals_local(self):
+        graph = gnp_graph(40, 0.15, seed=4)
+        initial = id_coloring(graph)
+        local = ColoringEngine(graph, visibility=Visibility.LOCAL).run(
+            AdditiveGroupColoring(), initial
+        )
+        setlocal = ColoringEngine(graph, visibility=Visibility.SET_LOCAL).run(
+            AdditiveGroupColoring(), initial
+        )
+        assert local.int_colors == setlocal.int_colors
+        assert local.rounds_used == setlocal.rounds_used
+
+    def test_set_local_output_proper(self):
+        graph = random_regular(30, 4, seed=5)
+        engine = ColoringEngine(
+            graph, visibility=Visibility.SET_LOCAL, check_proper_each_round=True
+        )
+        result = engine.run(AdditiveGroupColoring(), id_coloring(graph))
+        assert is_proper_coloring(graph, result.int_colors)
+
+
+class TestAGPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_random_colorings(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        p = rng.uniform(0.0, 0.3)
+        graph = gnp_graph(n, p, seed=seed)
+        delta = graph.max_degree
+        k = max(n, (2 * delta + 1) ** 2)
+        # Random proper coloring over [k]: perturb the identity coloring.
+        palette = rng.sample(range(k), n)
+        coloring = list(palette)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupColoring()
+        result = engine.run(stage, coloring, in_palette_size=k)
+        assert is_proper_coloring(graph, result.int_colors)
+        assert max(result.int_colors) < stage.q
+        assert result.rounds_used <= stage.q
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_running_longer_changes_nothing(self, seed):
+        """The uniform step keeps finalized colorings fixed — forever."""
+        graph = gnp_graph(25, 0.2, seed=seed)
+        engine = ColoringEngine(graph)
+        stage = AdditiveGroupColoring()
+        result = engine.run(stage, id_coloring(graph))
+        # Continue stepping manually from the final internal colors.
+        colors = list(result.colors)
+        for r in range(5):
+            new = [
+                stage.step(
+                    result.rounds_used + r,
+                    colors[v],
+                    tuple(colors[u] for u in graph.neighbors(v)),
+                )
+                for v in graph.vertices()
+            ]
+            assert new == colors

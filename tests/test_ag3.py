@@ -1,0 +1,153 @@
+"""Tests for 3AG, the 3-dimensional Additive-Group algorithm (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.core.ag3 import ThreeDimensionalAG, ag3_prime_for
+from repro.graphgen import complete_graph, cycle_graph, gnp_graph, random_regular
+from repro.mathutil.primes import is_prime
+from repro.runtime import ColoringEngine, Visibility
+from repro.runtime.algorithm import NetworkInfo
+from tests.conftest import assert_proper, id_coloring
+
+
+class TestPrimeSelection:
+    def test_cube_and_degree_floors(self):
+        for k, delta in [(1000, 4), (8, 20), (30000, 2)]:
+            p = ag3_prime_for(k, delta)
+            assert is_prime(p)
+            assert p ** 3 >= k
+            assert p >= 3 * delta + 1
+
+
+class TestCorollary72:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            cycle_graph(18),
+            complete_graph(7),
+            gnp_graph(40, 0.15, seed=1),
+            random_regular(36, 4, seed=2),
+        ],
+        ids=["cycle", "clique", "gnp", "regular"],
+    )
+    def test_p_cubed_to_p_within_2p_rounds(self, graph):
+        stage = ThreeDimensionalAG()
+        delta = graph.max_degree
+        # Build a proper coloring genuinely using the p^3 space.
+        probe = ThreeDimensionalAG()
+        probe.configure(NetworkInfo(graph.n, delta, graph.n))
+        p = probe.p
+        rng = random.Random(0)
+        spread = sorted(rng.sample(range(p ** 3), graph.n))
+        coloring = [spread[c] for c in id_coloring(graph)]
+
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        result = engine.run(stage, coloring, in_palette_size=p ** 3)
+        assert_proper(graph, result.int_colors, "3AG output")
+        assert max(result.int_colors) < stage.p
+        assert result.rounds_used <= 2 * stage.p
+
+    def test_proper_every_round_is_enforced(self):
+        graph = gnp_graph(30, 0.2, seed=3)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        result = engine.run(ThreeDimensionalAG(), id_coloring(graph))
+        assert is_proper_coloring(graph, result.int_colors)
+
+
+class TestStepSemantics:
+    def _configured(self, delta=2, palette=1000):
+        stage = ThreeDimensionalAG()
+        stage.configure(NetworkInfo(50, delta, palette))
+        return stage
+
+    def test_first_phase_drop(self):
+        stage = self._configured()
+        # c != 0 and no b-conflict: drop c to 0.
+        assert stage.step(0, (3, 4, 5), ((1, 2, 5),)) == (0, 4, 5)
+
+    def test_first_phase_rotation(self):
+        stage = self._configured()
+        p = stage.p
+        assert stage.step(0, (3, 4, 5), ((1, 4, 6),)) == (3, (4 + 3) % p, 5)
+
+    def test_second_phase_finalize(self):
+        stage = self._configured()
+        assert stage.step(0, (0, 4, 5), ((0, 2, 6),)) == (0, 0, 5)
+
+    def test_second_phase_rotation(self):
+        stage = self._configured()
+        p = stage.p
+        assert stage.step(0, (0, 4, 5), ((0, 2, 5),)) == (0, 4, (5 + 4) % p)
+
+    def test_final_state_is_fixed_point(self):
+        stage = self._configured()
+        # Even while a neighbor shares its a, <0,0,a> cannot move.
+        assert stage.step(0, (0, 0, 5), ((0, 3, 5),)) == (0, 0, 5)
+        assert stage.step(0, (0, 0, 5), ((0, 3, 6),)) == (0, 0, 5)
+
+    def test_c_nonzero_cannot_drop_onto_final_zero_b(self):
+        stage = self._configured()
+        # A neighbor finalized at <0,0,a>: its b = 0 blocks our b = 0 drop.
+        p = stage.p
+        next_color = stage.step(0, (2, 0, 5), ((0, 0, 7),))
+        assert next_color == (2, 2 % p, 5)
+
+    def test_uniform_step(self):
+        stage = self._configured()
+        color = (1, 2, 3)
+        nbrs = ((0, 2, 4),)
+        assert stage.step(0, color, nbrs) == stage.step(7, color, nbrs)
+        assert stage.uniform_step
+
+    def test_lockstep_pairs_do_not_deadlock(self):
+        """Equal (c, b) with different a must not block each other (see the
+        reproduction note in repro.core.ag3): both drop, then phase 2
+        separates them through their distinct a coordinates."""
+        stage = self._configured(delta=1)
+        u, v = (1, 5, 2), (1, 5, 4)
+        # Phase 1: same c — no phase-1 conflict, both drop.
+        u2 = stage.step(0, u, (v,))
+        v2 = stage.step(0, v, (u,))
+        assert u2 == (0, 5, 2) and v2 == (0, 5, 4)
+        # Phase 2 converges since the a's are distinct.
+        colors = [u2, v2]
+        for r in range(2 * stage.p):
+            colors = [
+                stage.step(r, colors[0], (colors[1],)),
+                stage.step(r, colors[1], (colors[0],)),
+            ]
+            assert colors[0] != colors[1]  # proper throughout
+        assert all(stage.is_final(c) for c in colors)
+
+
+class TestSetLocal:
+    def test_set_local_equals_local(self):
+        graph = gnp_graph(30, 0.2, seed=9)
+        initial = id_coloring(graph)
+        a = ColoringEngine(graph, visibility=Visibility.LOCAL).run(
+            ThreeDimensionalAG(), initial
+        )
+        b = ColoringEngine(graph, visibility=Visibility.SET_LOCAL).run(
+            ThreeDimensionalAG(), initial
+        )
+        assert a.int_colors == b.int_colors
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 35)
+        graph = gnp_graph(n, rng.uniform(0, 0.3), seed=seed)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = ThreeDimensionalAG()
+        result = engine.run(stage, id_coloring(graph))
+        assert is_proper_coloring(graph, result.int_colors)
+        assert max(result.int_colors) < stage.p
+        assert result.rounds_used <= 2 * stage.p

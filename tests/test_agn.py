@@ -1,0 +1,160 @@
+"""Tests for AG(N) — the exact (Delta+1) step over Z_{Delta+1} (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.core.agn import AdditiveGroupZN
+from repro.graphgen import cycle_graph, gnp_graph, path_graph, random_regular
+from repro.runtime import ColoringEngine
+from repro.runtime.algorithm import NetworkInfo
+from repro.baselines import greedy_coloring
+from tests.conftest import assert_proper
+
+
+def two_n_coloring(graph, seed):
+    """A proper coloring using (up to) 2 * (Delta + 1) colors."""
+    n_colors = graph.max_degree + 1
+    base = greedy_coloring(graph)
+    rng = random.Random(seed)
+    # Randomly lift some classes into the upper half of the palette.
+    lifted = [c + n_colors if rng.random() < 0.5 else c for c in base]
+    return lifted
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(15),
+            cycle_graph(16),
+            gnp_graph(40, 0.15, seed=1),
+            random_regular(30, 5, seed=2),
+        ],
+        ids=["path", "cycle", "gnp", "regular"],
+    )
+    def test_exact_delta_plus_one_within_n_rounds(self, graph):
+        coloring = two_n_coloring(graph, seed=3)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupZN()
+        result = engine.run(
+            stage, coloring, in_palette_size=2 * (graph.max_degree + 1)
+        )
+        assert_proper(graph, result.int_colors, "AG(N) output")
+        assert max(result.int_colors) <= graph.max_degree  # exactly Delta+1 colors
+        assert result.rounds_used <= graph.max_degree + 1
+
+    def test_rejects_oversized_palette(self):
+        graph = path_graph(4)
+        stage = AdditiveGroupZN()
+        engine = ColoringEngine(graph)
+        with pytest.raises(ValueError):
+            engine.run(stage, [0, 1, 2, 3], in_palette_size=100)
+
+
+class TestStepSemantics:
+    def _configured(self, delta=4):
+        stage = AdditiveGroupZN()
+        stage.configure(NetworkInfo(20, delta, 2 * (delta + 1)))
+        return stage
+
+    def test_final_colors_never_move(self):
+        stage = self._configured()
+        assert stage.step(0, (0, 3), ((1, 3),)) == (0, 3)
+
+    def test_conflict_includes_final_neighbors(self):
+        stage = self._configured()
+        n = stage.modulus
+        # Working <1,3> vs finalized neighbor <0,3>: conflict, rotate by 1.
+        assert stage.step(0, (1, 3), ((0, 3),)) == (1, 4 % n)
+
+    def test_conflict_regardless_of_neighbor_b(self):
+        stage = self._configured()
+        n = stage.modulus
+        assert stage.step(0, (1, 3), ((1, 3),)) == (1, 4 % n)
+
+    def test_no_conflict_finalizes(self):
+        stage = self._configured()
+        assert stage.step(0, (1, 3), ((0, 2), (1, 4))) == (0, 3)
+
+    def test_working_neighbors_never_collide(self):
+        """Both advance by 1 mod N: initial distinctness is preserved."""
+        stage = self._configured(delta=6)
+        n = stage.modulus
+        a_u, a_v = 2, 5
+        for _ in range(3 * n):
+            assert a_u != a_v
+            a_u, a_v = (a_u + 1) % n, (a_v + 1) % n
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        graph = gnp_graph(n, rng.uniform(0, 0.35), seed=seed)
+        coloring = two_n_coloring(graph, seed)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupZN()
+        result = engine.run(
+            stage, coloring, in_palette_size=2 * (graph.max_degree + 1)
+        )
+        assert is_proper_coloring(graph, result.int_colors)
+        assert max(result.int_colors) <= graph.max_degree
+        assert result.rounds_used <= graph.max_degree + 1
+
+
+class TestBoundaryModuli:
+    def test_delta_zero_single_vertices(self):
+        from repro.runtime.graph import StaticGraph
+
+        graph = StaticGraph(3, [])
+        engine = ColoringEngine(graph)
+        stage = AdditiveGroupZN()
+        result = engine.run(stage, [0, 1, 0], in_palette_size=2)
+        assert all(c == 0 for c in result.int_colors)
+
+    def test_delta_one_matching(self):
+        graph = path_graph(2)  # N = 2, palette up to 4
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupZN()
+        result = engine.run(stage, [2, 3], in_palette_size=4)
+        assert sorted(result.int_colors) == [0, 1]
+        assert result.rounds_used <= 2
+
+    def test_modulus_is_delta_plus_one_not_prime(self):
+        # N = 9 (composite): primality is never used by AG(N).
+        graph = random_regular(20, 8, seed=44)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupZN()
+        result = engine.run(
+            stage, two_n_coloring(graph, seed=45), in_palette_size=18
+        )
+        assert stage.modulus == 9
+        assert is_proper_coloring(graph, result.int_colors)
+        assert max(result.int_colors) <= 8
+
+
+class TestConflictWindowLemma:
+    def test_working_vs_final_conflicts_once_per_n_rounds(self):
+        """The AG(N) analogue of Lemma 3.4, measured on real histories."""
+        graph = gnp_graph(24, 0.25, seed=46)
+        engine = ColoringEngine(graph, record_history=True)
+        stage = AdditiveGroupZN()
+        result = engine.run(
+            stage,
+            two_n_coloring(graph, seed=47),
+            in_palette_size=2 * (graph.max_degree + 1),
+        )
+        window = result.history[: stage.modulus + 1]
+        for u, v in graph.edges:
+            conflicts = sum(
+                1 for colors in window if colors[u][1] == colors[v][1]
+            )
+            # Working pairs never conflict; working-final at most once per
+            # window; final-final never (proper).  Total <= 1 within N+1.
+            assert conflicts <= 2

@@ -1,0 +1,167 @@
+"""Tests for the invariant checkers."""
+
+from repro.analysis import (
+    arbdefect_upper_bound,
+    coloring_defect,
+    count_colors,
+    edge_coloring_defect,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    is_proper_edge_coloring,
+    monochromatic_edges,
+)
+from repro.analysis.invariants import class_degeneracy
+from repro.graphgen import complete_graph, cycle_graph, path_graph, star_graph
+from repro.runtime.graph import StaticGraph
+
+
+class TestProperColoring:
+    def test_proper_and_improper(self):
+        g = path_graph(3)
+        assert is_proper_coloring(g, [0, 1, 0])
+        assert not is_proper_coloring(g, [0, 0, 1])
+        assert monochromatic_edges(g, [0, 0, 1]) == [(0, 1)]
+
+    def test_color_counting(self):
+        assert count_colors([3, 3, 5, 7]) == 3
+
+    def test_empty_graph_always_proper(self):
+        g = StaticGraph(3, [])
+        assert is_proper_coloring(g, [0, 0, 0])
+
+
+class TestDefect:
+    def test_proper_has_zero_defect(self):
+        g = cycle_graph(4)
+        assert coloring_defect(g, [0, 1, 0, 1]) == 0
+
+    def test_monochromatic_clique_defect(self):
+        g = complete_graph(4)
+        assert coloring_defect(g, [0, 0, 0, 0]) == 3
+
+    def test_partial_defect(self):
+        g = star_graph(5)
+        assert coloring_defect(g, [0, 0, 0, 1, 1]) == 2
+
+
+class TestArbdefect:
+    def test_proper_coloring_zero(self):
+        g = cycle_graph(6)
+        assert arbdefect_upper_bound(g, [0, 1, 0, 1, 0, 1]) == 0
+
+    def test_monochromatic_cycle_is_degeneracy_two(self):
+        g = cycle_graph(6)
+        assert arbdefect_upper_bound(g, [0] * 6) == 2
+
+    def test_monochromatic_tree_is_degeneracy_one(self):
+        g = path_graph(6)
+        assert arbdefect_upper_bound(g, [0] * 6) == 1
+
+    def test_class_degeneracy_by_color(self):
+        g = StaticGraph(6, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        per_class = class_degeneracy(g, [0, 0, 0, 1, 1, 1])
+        assert per_class[0] == 2  # triangle
+        assert per_class[1] == 1  # one edge + isolated vertex
+
+
+class TestEdgeColoring:
+    def test_proper_edge_coloring(self):
+        g = path_graph(3)
+        assert is_proper_edge_coloring(g, {(0, 1): 0, (1, 2): 1})
+        assert not is_proper_edge_coloring(g, {(0, 1): 0, (1, 2): 0})
+
+    def test_edge_defect(self):
+        g = star_graph(4)
+        same = {(0, 1): 0, (0, 2): 0, (0, 3): 1}
+        assert edge_coloring_defect(g, same) == 1
+        proper = {(0, 1): 0, (0, 2): 1, (0, 3): 2}
+        assert edge_coloring_defect(g, proper) == 0
+
+
+class TestMIS:
+    def test_valid_mis(self):
+        g = path_graph(5)
+        assert is_maximal_independent_set(g, {0, 2, 4})
+
+    def test_not_independent(self):
+        g = path_graph(3)
+        assert not is_maximal_independent_set(g, {0, 1})
+
+    def test_not_maximal(self):
+        g = path_graph(5)
+        assert not is_maximal_independent_set(g, {0})
+
+    def test_star_center_alone_is_mis(self):
+        g = star_graph(6)
+        assert is_maximal_independent_set(g, {0})
+        assert is_maximal_independent_set(g, {1, 2, 3, 4, 5})
+
+
+class TestMaximalMatching:
+    def test_valid_matching(self):
+        g = path_graph(4)
+        assert is_maximal_matching(g, [(0, 1), (2, 3)])
+        assert is_maximal_matching(g, [(1, 2)])
+
+    def test_shared_endpoint_rejected(self):
+        g = path_graph(3)
+        assert not is_maximal_matching(g, [(0, 1), (1, 2)])
+
+    def test_non_maximal_rejected(self):
+        g = path_graph(4)
+        assert not is_maximal_matching(g, [(0, 1)])
+
+    def test_nonexistent_edge_rejected(self):
+        g = path_graph(3)
+        assert not is_maximal_matching(g, [(0, 2)])
+
+
+class TestArboricityBounds:
+    def test_tree_bounds(self):
+        from repro.analysis.invariants import arboricity_bounds
+
+        g = path_graph(10)
+        lower, upper = arboricity_bounds(g)
+        assert lower == 1 and upper == 1
+
+    def test_clique_bounds_sandwich(self):
+        from repro.analysis.invariants import arboricity_bounds
+
+        g = complete_graph(9)  # arboricity of K_n = ceil(n/2)
+        lower, upper = arboricity_bounds(g)
+        assert lower <= 5 <= upper + 1
+        assert lower >= 4
+
+    def test_empty_graph(self):
+        from repro.analysis.invariants import nash_williams_lower_bound
+        from repro.runtime.graph import StaticGraph
+
+        assert nash_williams_lower_bound(StaticGraph(4, [])) == 0
+        assert nash_williams_lower_bound(StaticGraph(1, [])) == 0
+
+    def test_per_class_bounds(self):
+        from repro.analysis.invariants import arboricity_bounds
+
+        g = StaticGraph(6, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        lower, upper = arboricity_bounds(g, [0, 0, 0, 1, 1, 1])
+        # Class 0 is a triangle: Nash-Williams gives ceil(3 / 2) = 2.
+        assert lower == 2
+        assert upper == 2
+
+    def test_lower_never_exceeds_upper(self):
+        from repro.analysis.invariants import arboricity_bounds
+        from repro.graphgen import gnp_graph
+
+        for seed in range(6):
+            g = gnp_graph(25, 0.2, seed=seed)
+            lower, upper = arboricity_bounds(g)
+            assert lower <= upper or (g.m == 0 and lower == upper == 0)
+
+
+class TestPaletteHistogram:
+    def test_counts(self):
+        from repro.analysis.invariants import palette_histogram
+
+        assert palette_histogram([0, 1, 1, 2, 1]) == {0: 1, 1: 3, 2: 1}
+        assert palette_histogram([]) == {}

@@ -1,0 +1,175 @@
+"""Tests for the static MIS / maximal-matching applications."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    locally_iterative_maximal_matching,
+    locally_iterative_mis,
+    matching_from_edge_coloring,
+    mis_from_coloring,
+)
+from repro.analysis import is_maximal_independent_set, is_maximal_matching
+from repro.baselines import greedy_coloring
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.mathutil import log_star
+
+
+class TestMISFromColoring:
+    def test_path_sweep(self):
+        graph = path_graph(6)
+        colors = [0, 1, 0, 1, 0, 1]
+        members, rounds = mis_from_coloring(graph, colors, 2)
+        assert members == {0, 2, 4}
+        assert rounds == 2
+
+    def test_star_center_first(self):
+        graph = star_graph(8)
+        colors = [0] + [1] * 7
+        members, _ = mis_from_coloring(graph, colors, 2)
+        assert members == {0}
+
+    def test_star_leaves_first(self):
+        graph = star_graph(8)
+        colors = [1] + [0] * 7
+        members, _ = mis_from_coloring(graph, colors, 2)
+        assert members == set(range(1, 8))
+
+    def test_any_greedy_coloring_works(self, any_graph):
+        colors = greedy_coloring(any_graph)
+        members, _ = mis_from_coloring(any_graph, colors)
+        assert is_maximal_independent_set(any_graph, members)
+
+
+class TestLocallyIterativeMIS:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            cycle_graph(25),
+            complete_graph(9),
+            gnp_graph(50, 0.12, seed=1),
+            random_regular(48, 6, seed=2),
+        ],
+        ids=["cycle", "clique", "gnp", "regular"],
+    )
+    def test_valid_mis(self, graph):
+        result = locally_iterative_mis(graph)
+        assert is_maximal_independent_set(graph, result.members)
+
+    def test_round_bound(self):
+        graph = random_regular(96, 8, seed=3)
+        result = locally_iterative_mis(graph)
+        assert result.sweep_rounds == graph.max_degree + 1
+        assert result.total_rounds <= 10 * graph.max_degree + log_star(graph.n) + 16
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 40)
+        graph = gnp_graph(n, rng.uniform(0, 0.3), seed=seed)
+        result = locally_iterative_mis(graph)
+        assert is_maximal_independent_set(graph, result.members)
+
+
+class TestMatchingFromEdgeColoring:
+    def test_path_sweep(self):
+        graph = path_graph(4)
+        edge_colors = {(0, 1): 0, (1, 2): 1, (2, 3): 0}
+        matched, rounds = matching_from_edge_coloring(graph, edge_colors, 2)
+        assert sorted(matched) == [(0, 1), (2, 3)]
+        assert rounds == 2
+
+    def test_classes_never_conflict(self):
+        from repro.edge import edge_coloring_congest
+
+        graph = cycle_graph(8)
+        # The precondition: a proper edge coloring (classes are matchings).
+        edge_colors = edge_coloring_congest(graph).edge_colors
+        matched, _ = matching_from_edge_coloring(graph, edge_colors)
+        used = set()
+        for u, v in matched:
+            assert u not in used and v not in used
+            used.update((u, v))
+        assert is_maximal_matching(graph, matched)
+
+
+class TestLocallyIterativeMatching:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(15),
+            cycle_graph(16),
+            gnp_graph(30, 0.2, seed=4),
+            random_regular(24, 5, seed=5),
+        ],
+        ids=["path", "cycle", "gnp", "regular"],
+    )
+    def test_valid_maximal_matching(self, graph):
+        result = locally_iterative_maximal_matching(graph)
+        assert is_maximal_matching(graph, result.edges)
+
+    def test_round_accounting(self):
+        graph = random_regular(40, 6, seed=6)
+        result = locally_iterative_maximal_matching(graph)
+        assert result.sweep_rounds <= 2 * graph.max_degree - 1
+        assert result.total_rounds < 60 * graph.max_degree
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 28)
+        graph = gnp_graph(n, rng.uniform(0.05, 0.3), seed=seed)
+        if graph.m == 0:
+            return
+        result = locally_iterative_maximal_matching(graph)
+        assert is_maximal_matching(graph, result.edges)
+
+
+class TestClassSweepStage:
+    def test_runs_in_set_local(self):
+        from repro.apps.mis import ClassSweepMIS
+        from repro.baselines import greedy_coloring
+        from repro.runtime import ColoringEngine, Visibility
+
+        graph = gnp_graph(30, 0.2, seed=9)
+        colors = greedy_coloring(graph)
+        outputs = []
+        for visibility in (Visibility.LOCAL, Visibility.SET_LOCAL):
+            engine = ColoringEngine(graph, visibility=visibility)
+            run = engine.run(
+                ClassSweepMIS(), colors, in_palette_size=max(colors) + 1
+            )
+            outputs.append(run.int_colors)
+        assert outputs[0] == outputs[1]
+        members = {v for v in graph.vertices() if outputs[0][v] == 1}
+        assert is_maximal_independent_set(graph, members)
+
+    def test_undecided_vertex_rejected_at_decode(self):
+        from repro.apps.mis import ClassSweepMIS
+
+        stage = ClassSweepMIS()
+        with pytest.raises(ValueError):
+            stage.decode_final((3, None))
+
+    def test_stage_round_accounting(self):
+        from repro.apps.mis import ClassSweepMIS
+        from repro.baselines import greedy_coloring
+        from repro.runtime import ColoringEngine
+
+        graph = cycle_graph(12)
+        colors = greedy_coloring(graph)
+        engine = ColoringEngine(graph)
+        run = engine.run(ClassSweepMIS(), colors, in_palette_size=max(colors) + 1)
+        assert run.rounds_used <= max(colors) + 1

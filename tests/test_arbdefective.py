@@ -1,0 +1,168 @@
+"""Tests for ArbAG (Section 6) and its finalization orientation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import arbdefect_upper_bound
+from repro.core.arbdefective import ArbAGColoring, finalization_orientation
+from repro.defective import DefectiveLinialColoring
+from repro.graphgen import complete_graph, gnp_graph, random_regular
+from repro.runtime import ColoringEngine
+from tests.conftest import id_coloring
+
+
+def run_defective_then_arb(graph, tolerance):
+    engine = ColoringEngine(graph)
+    defective = DefectiveLinialColoring(tolerance)
+    dres = engine.run(defective, id_coloring(graph))
+    arb = ArbAGColoring(tolerance)
+    ares = engine.run(arb, dres.int_colors, in_palette_size=defective.out_palette_size)
+    return defective, arb, ares
+
+
+class TestLemma61Convergence:
+    @pytest.mark.parametrize("tolerance", [1, 2, 4])
+    def test_everyone_finalizes_within_bound(self, tolerance):
+        graph = random_regular(60, 8, seed=1)
+        defective, arb, result = run_defective_then_arb(graph, tolerance)
+        r = -(-graph.max_degree // tolerance)
+        assert result.rounds_used <= 2 * r + 1
+        assert all(fr is not None for _, _, _, fr in result.colors)
+        assert max(result.int_colors) < arb.q
+
+    def test_palette_is_o_delta_over_p(self):
+        graph = random_regular(64, 16, seed=2)
+        delta = graph.max_degree
+        for tolerance in (2, 4):
+            _, arb, result = run_defective_then_arb(graph, tolerance)
+            r = -(-delta // tolerance)
+            assert arb.q <= 4 * r + 12
+
+
+class TestLemma62Arbdefect:
+    @pytest.mark.parametrize("tolerance", [1, 2, 4, 8])
+    def test_class_degeneracy_bounded(self, tolerance):
+        graph = random_regular(60, 12, seed=3)
+        defective, arb, result = run_defective_then_arb(graph, tolerance)
+        # arbdefect <= out-degree bound <= tolerance + input defect (+ ties,
+        # which are inside the tolerance count).
+        bound = 2 * (tolerance + defective.defect_bound) + 1
+        assert arbdefect_upper_bound(graph, result.int_colors) <= bound
+
+    def test_orientation_out_degree_bounded(self):
+        graph = random_regular(60, 12, seed=4)
+        tolerance = 3
+        defective, arb, result = run_defective_then_arb(graph, tolerance)
+        orientation = finalization_orientation(graph, result.colors)
+        worst = max(len(o) for o in orientation)
+        assert worst <= tolerance + defective.defect_bound
+
+    def test_orientation_is_acyclic(self):
+        graph = gnp_graph(40, 0.2, seed=5)
+        _, _, result = run_defective_then_arb(graph, 2)
+        orientation = finalization_orientation(graph, result.colors)
+        # Kahn's algorithm must consume every vertex.
+        out_deg = [len(o) for o in orientation]
+        incoming = [[] for _ in range(graph.n)]
+        for v, outs in enumerate(orientation):
+            for u in outs:
+                incoming[u].append(v)
+        frontier = [v for v in range(graph.n) if out_deg[v] == 0]
+        seen = 0
+        while frontier:
+            u = frontier.pop()
+            seen += 1
+            for w in incoming[u]:
+                out_deg[w] -= 1
+                if out_deg[w] == 0:
+                    frontier.append(w)
+        assert seen == graph.n
+
+    def test_orientation_covers_exactly_intra_class_edges(self):
+        graph = gnp_graph(35, 0.25, seed=6)
+        _, _, result = run_defective_then_arb(graph, 2)
+        orientation = finalization_orientation(graph, result.colors)
+        oriented_pairs = {
+            tuple(sorted((v, u))) for v, outs in enumerate(orientation) for u in outs
+        }
+        intra = {
+            (u, v)
+            for u, v in graph.edges
+            if result.int_colors[u] == result.int_colors[v]
+        }
+        assert oriented_pairs == intra
+
+    def test_orientation_requires_finalized_colors(self):
+        graph = complete_graph(4)
+        with pytest.raises(ValueError):
+            finalization_orientation(
+                graph, [(1, 0, 0, None), (1, 0, 1, None), (0, 1, 2, 0), (0, 2, 3, 0)]
+            )
+
+
+class TestStepSemantics:
+    def _configured(self, tolerance=2, delta=6, palette=196):
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage = ArbAGColoring(tolerance)
+        stage.configure(NetworkInfo(50, delta, palette))
+        return stage
+
+    def test_tolerated_conflicts_finalize(self):
+        stage = self._configured(tolerance=2)
+        color = (3, 5, 40, None)
+        nbrs = ((1, 5, 18, None), (2, 5, 31, None))  # 2 conflicts == tolerance
+        out = stage.step(4, color, nbrs)
+        assert out == (0, 5, 40, 5)
+
+    def test_excess_conflicts_rotate(self):
+        stage = self._configured(tolerance=1)
+        q = stage.q
+        color = (3, 5, 40, None)
+        nbrs = ((1, 5, 18, None), (2, 5, 31, None))
+        assert stage.step(0, color, nbrs) == (3, (3 + 5) % q, 40, None)
+
+    def test_same_original_color_not_counted(self):
+        stage = self._configured(tolerance=1)
+        color = (3, 5, 40, None)
+        nbrs = ((3, 5, 40, None), (3, 5, 40, None), (1, 5, 7, None))
+        # Only the different-orig neighbor counts: 1 <= tolerance.
+        assert stage.step(2, color, nbrs)[0] == 0
+
+    def test_finalized_is_absorbing(self):
+        stage = self._configured()
+        color = (0, 5, 40, 3)
+        assert stage.step(9, color, ((1, 5, 7, None),) * 5) == color
+
+    def test_a_zero_final_from_start(self):
+        stage = self._configured()
+        encoded = stage.encode_initial(4)  # a == 0 since 4 < q
+        assert encoded[0] == 0 and encoded[3] == 0
+        assert stage.is_final(encoded)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            ArbAGColoring(0)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs_full_pipeline(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 36)
+        graph = gnp_graph(n, rng.uniform(0, 0.3), seed=seed)
+        tolerance = rng.randint(1, 4)
+        defective, arb, result = run_defective_then_arb(graph, tolerance)
+        r = -(-graph.max_degree // tolerance) if graph.max_degree else 0
+        assert result.rounds_used <= 2 * r + 1
+        assert arbdefect_upper_bound(graph, result.int_colors) <= 2 * (
+            tolerance + defective.defect_bound
+        ) + 1
+        orientation = finalization_orientation(graph, result.colors)
+        assert max((len(o) for o in orientation), default=0) <= (
+            tolerance + defective.defect_bound
+        )

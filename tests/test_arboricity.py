@@ -1,0 +1,133 @@
+"""Tests for the H-partition and arboricity-based coloring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.arboricity import arboricity_coloring, h_partition
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+
+
+class TestHPartition:
+    def test_tree_single_ish_layers(self):
+        g = random_tree(50, seed=1)
+        partition = h_partition(g, arboricity_bound=1)
+        assert partition.out_degree_bound == 3  # (2 + 1.0) * 1
+        assert all(
+            len(outs) <= 3 for outs in partition.out_neighbors
+        )
+
+    def test_layers_partition_vertices(self):
+        g = gnp_graph(40, 0.2, seed=2)
+        partition = h_partition(g)
+        seen = [v for layer in partition.layers for v in layer]
+        assert sorted(seen) == list(g.vertices())
+
+    def test_orientation_covers_every_edge_once(self):
+        g = gnp_graph(30, 0.25, seed=3)
+        partition = h_partition(g)
+        oriented = set()
+        for v, outs in enumerate(partition.out_neighbors):
+            for u in outs:
+                key = (min(u, v), max(u, v))
+                assert key not in oriented
+                oriented.add(key)
+        assert oriented == set(g.edges)
+
+    def test_orientation_is_acyclic(self):
+        g = gnp_graph(30, 0.25, seed=4)
+        partition = h_partition(g)
+        order = {(partition.layer_of[v], v): v for v in g.vertices()}
+        for v, outs in enumerate(partition.out_neighbors):
+            for u in outs:
+                assert (partition.layer_of[u], u) > (partition.layer_of[v], v)
+
+    def test_layer_count_logarithmic(self):
+        small = h_partition(random_tree(32, seed=5), arboricity_bound=1)
+        large = h_partition(random_tree(1024, seed=6), arboricity_bound=1)
+        assert large.rounds <= small.rounds + 8
+
+    def test_bad_parameters(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            h_partition(g, eps=0)
+        with pytest.raises(ValueError):
+            h_partition(g, arboricity_bound=0)
+
+    def test_undersized_bound_stalls(self):
+        g = complete_graph(10)  # arboricity 5
+        with pytest.raises(AssertionError):
+            h_partition(g, arboricity_bound=1)
+
+
+class TestArboricityColoring:
+    @pytest.mark.parametrize(
+        "graph,a",
+        [
+            (random_tree(60, seed=7), 1),
+            (cycle_graph(31), 1),
+            (grid_graph(6, 7), 2),
+        ],
+        ids=["tree", "cycle", "grid"],
+    )
+    def test_small_palette_on_sparse_graphs(self, graph, a):
+        colors, partition, rounds = arboricity_coloring(graph, arboricity_bound=a)
+        assert is_proper_coloring(graph, colors)
+        assert max(colors) <= partition.out_degree_bound
+        assert partition.out_degree_bound <= 3 * a
+
+    def test_defaults_to_degeneracy(self):
+        g = gnp_graph(40, 0.15, seed=8)
+        colors, partition, rounds = arboricity_coloring(g)
+        assert is_proper_coloring(g, colors)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 35)
+        g = gnp_graph(n, rng.uniform(0.05, 0.35), seed=seed)
+        colors, partition, rounds = arboricity_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert max(colors) <= partition.out_degree_bound
+
+
+class TestHPartitionCompletion:
+    def test_pipeline_backend(self):
+        from repro import one_plus_eps_delta_coloring
+        from repro.graphgen import random_regular
+
+        graph = random_regular(72, 12, seed=9)
+        for backend in ("orientation", "hpartition"):
+            result = one_plus_eps_delta_coloring(graph, completion=backend)
+            assert is_proper_coloring(graph, result.colors)
+            assert result.palette_size <= 40 * (graph.max_degree + 1)
+
+    def test_unknown_backend_rejected(self):
+        from repro import one_plus_eps_delta_coloring
+        from repro.graphgen import cycle_graph as cg
+
+        with pytest.raises(ValueError):
+            one_plus_eps_delta_coloring(cg(10), completion="magic")
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_backends_agree_on_guarantees(self, seed):
+        from repro import one_plus_eps_delta_coloring
+
+        rng = random.Random(seed)
+        n = rng.randint(6, 36)
+        g = gnp_graph(n, rng.uniform(0.1, 0.3), seed=seed)
+        for backend in ("orientation", "hpartition"):
+            result = one_plus_eps_delta_coloring(g, completion=backend)
+            assert is_proper_coloring(g, result.colors)

@@ -1,0 +1,80 @@
+"""Tests for the BEK/Kuhn defective-coloring baseline ([5, 44, 9])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.baselines import bek_delta_plus_one
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(20),
+            cycle_graph(21),
+            star_graph(16),
+            complete_graph(10),
+            grid_graph(5, 6),
+            gnp_graph(50, 0.15, seed=1),
+            random_regular(48, 8, seed=2),
+            random_regular(60, 16, seed=3),
+        ],
+        ids=["path", "cycle", "star", "clique", "grid", "gnp", "reg8", "reg16"],
+    )
+    def test_proper_delta_plus_one(self, graph):
+        result = bek_delta_plus_one(graph)
+        assert is_proper_coloring(graph, result.colors)
+        assert max(result.colors) <= graph.max_degree
+
+    def test_empty_and_tiny(self):
+        from repro.runtime.graph import StaticGraph
+
+        assert bek_delta_plus_one(StaticGraph(0, [])).colors == []
+        assert bek_delta_plus_one(StaticGraph(3, [])).colors == [0, 0, 0]
+
+    def test_zoo(self, any_graph):
+        result = bek_delta_plus_one(any_graph)
+        assert is_proper_coloring(any_graph, result.colors)
+        assert max(result.colors, default=0) <= any_graph.max_degree
+
+
+class TestRecursionShape:
+    def test_depth_grows_logarithmically(self):
+        small = bek_delta_plus_one(random_regular(40, 6, seed=4))
+        large = bek_delta_plus_one(random_regular(80, 24, seed=5))
+        assert large.depth <= small.depth + 4
+        assert large.depth >= 1  # really recursed
+
+    def test_rounds_linear_in_delta(self):
+        rounds = {}
+        for delta in (8, 16, 32):
+            graph = random_regular(96, delta, seed=delta)
+            rounds[delta] = bek_delta_plus_one(graph).rounds
+        # Quadrupling Delta must not grow rounds more than ~8x (linear-ish
+        # with recursion overhead, certainly not Delta^2).
+        assert rounds[32] <= 8 * max(1, rounds[8])
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 40)
+        graph = gnp_graph(n, rng.uniform(0, 0.35), seed=seed)
+        result = bek_delta_plus_one(graph)
+        assert is_proper_coloring(graph, result.colors)
+        assert max(result.colors, default=0) <= graph.max_degree

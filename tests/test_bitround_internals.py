@@ -1,0 +1,98 @@
+"""Unit tests for the bit-protocol internals (replica views, CV shipping)."""
+
+import pytest
+
+from repro.bitround.edge_coloring import _EndpointViews
+from repro.graphgen import cycle_graph, gnp_graph, path_graph
+from repro.linial.cole_vishkin import cole_vishkin_three_coloring
+
+
+class TestEndpointViews:
+    def test_set_both_and_get(self):
+        g = path_graph(3)
+        views = _EndpointViews(g)
+        views.set_both((0, 1), "x")
+        assert views.get(0, (0, 1)) == "x"
+        assert views.get(1, (0, 1)) == "x"
+
+    def test_incident_values_excludes_the_edge_itself(self):
+        g = path_graph(3)
+        views = _EndpointViews(g)
+        views.set_both((0, 1), "a")
+        views.set_both((1, 2), "b")
+        assert list(views.incident_values(1, (0, 1))) == ["b"]
+        assert list(views.incident_values(1, (1, 2))) == ["a"]
+        assert list(views.incident_values(0, (0, 1))) == []
+
+    def test_consistency_assertion_fires_on_divergence(self):
+        g = path_graph(2)
+        views = _EndpointViews(g)
+        views.set_both((0, 1), "same")
+        views.set_one(0, (0, 1), "diverged")
+        with pytest.raises(AssertionError):
+            views.assert_consistent()
+
+    def test_consistency_holds_after_set_both(self):
+        g = cycle_graph(4)
+        views = _EndpointViews(g)
+        for edge in g.edges:
+            views.set_both(edge, sum(edge))
+        views.assert_consistent()
+
+
+class TestColeVishkinHistory:
+    def test_history_lengths_match_rounds(self):
+        parents = [i + 1 if i + 1 < 20 else None for i in range(20)]
+        colors, rounds, history = cole_vishkin_three_coloring(
+            parents, range(20), 20, return_history=True
+        )
+        assert len(history) == rounds
+        assert history[-1][0] == colors  # final snapshot equals the output
+
+    def test_history_spaces_monotone_nonincreasing(self):
+        parents = [i + 1 if i + 1 < 50 else None for i in range(50)]
+        _, _, history = cole_vishkin_three_coloring(
+            parents, range(50), 50, return_history=True
+        )
+        spaces = [space for _, space in history]
+        assert spaces == sorted(spaces, reverse=True)
+        assert spaces[-1] == 6
+
+    def test_history_labels_always_within_space(self):
+        parents = [(i + 1) % 30 for i in range(30)]  # a cycle
+        _, _, history = cole_vishkin_three_coloring(
+            parents, range(30), 30, return_history=True
+        )
+        for labels, space in history:
+            assert all(0 <= label < max(space, 6) for label in labels)
+
+    def test_empty_history(self):
+        assert cole_vishkin_three_coloring([], [], 0, return_history=True) == (
+            [],
+            0,
+            [],
+        )
+
+
+class TestVertexProtocolPhases:
+    def test_phase_keys_present(self):
+        from repro.bitround.vertex_coloring import run_vertex_coloring_bit_protocol
+
+        graph = gnp_graph(16, 0.25, seed=5)
+        run = run_vertex_coloring_bit_protocol(graph)
+        assert set(run.rounds_by_phase) == {
+            "linial",
+            "additive-group",
+            "standard-reduction",
+        }
+        assert set(run.bit_rounds_by_phase) == set(run.rounds_by_phase)
+
+    def test_reduction_bits_include_value_payloads(self):
+        from repro.bitround.vertex_coloring import run_vertex_coloring_bit_protocol
+
+        graph = gnp_graph(20, 0.3, seed=6)
+        run = run_vertex_coloring_bit_protocol(graph)
+        red_rounds = run.rounds_by_phase["standard-reduction"]
+        red_bits = run.bit_rounds_by_phase["standard-reduction"]
+        # Every reduction round costs at least the 1-bit change flag.
+        assert red_bits >= red_rounds

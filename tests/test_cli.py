@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestColorCommand:
+    def test_default_regular(self):
+        code, text = run_cli(["color", "--n", "48", "--degree", "6"])
+        assert code == 0
+        assert "Delta=6" in text
+        assert "total rounds:" in text
+
+    def test_exact_algorithm(self):
+        code, text = run_cli(
+            ["color", "--n", "40", "--degree", "4", "--algorithm", "exact"]
+        )
+        assert code == 0
+        assert "max color:   4" in text
+
+    def test_sublinear_algorithm(self):
+        code, text = run_cli(
+            ["color", "--family", "gnp", "--n", "40", "--prob", "0.2",
+             "--algorithm", "sublinear"]
+        )
+        assert code == 0
+        assert "colors used:" in text
+
+    def test_set_local_flag(self):
+        code, text = run_cli(
+            ["color", "--n", "36", "--degree", "4", "--set-local"]
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize(
+        "family_args",
+        [
+            ["--family", "cycle", "--n", "20"],
+            ["--family", "path", "--n", "15"],
+            ["--family", "grid", "--rows", "4", "--cols", "5"],
+            ["--family", "unit-disk", "--n", "40", "--radius", "0.2"],
+            ["--family", "tree", "--n", "30"],
+        ],
+    )
+    def test_all_families(self, family_args):
+        code, text = run_cli(["color"] + family_args)
+        assert code == 0
+        assert "colors used:" in text
+
+
+class TestEdgeColorCommand:
+    def test_exact(self):
+        code, text = run_cli(["edge-color", "--n", "32", "--degree", "4"])
+        assert code == 0
+        assert "CONGEST rounds:" in text
+        assert "bits per edge:" in text
+
+    def test_inexact(self):
+        code, text = run_cli(
+            ["edge-color", "--n", "32", "--degree", "4", "--no-exact"]
+        )
+        assert code == 0
+
+
+class TestMISAndMatching:
+    def test_mis(self):
+        code, text = run_cli(["mis", "--family", "grid", "--rows", "5", "--cols", "5"])
+        assert code == 0
+        assert "MIS size:" in text
+
+    def test_matching(self):
+        code, text = run_cli(["matching", "--n", "24", "--degree", "4"])
+        assert code == 0
+        assert "matching size:" in text
+
+
+class TestSelfStabCommand:
+    def test_demo_runs(self):
+        code, text = run_cli(
+            ["selfstab", "--n", "24", "--delta", "4", "--bursts", "2",
+             "--corruptions", "6", "--churn", "1"]
+        )
+        assert code == 0
+        assert "cold start:" in text
+        assert "burst 2:" in text
+        assert "final palette:" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color", "--family", "hypergraph"])
+
+
+class TestJsonOutput:
+    def test_color_json(self):
+        import json
+
+        code, text = run_cli(
+            ["color", "--n", "24", "--degree", "4", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["num_colors"] <= 5
+        assert "stages" in payload
+
+    def test_sublinear_json(self):
+        import json
+
+        code, text = run_cli(
+            ["color", "--family", "gnp", "--n", "24", "--prob", "0.2",
+             "--algorithm", "sublinear", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert "stage_rounds" in payload
+        assert "ag_side_rounds" in payload
+
+    def test_edge_color_json(self):
+        import json
+
+        code, text = run_cli(["edge-color", "--n", "16", "--degree", "4", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert "edge_colors" in payload
+        assert payload["palette_size"] >= 1

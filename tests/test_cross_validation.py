@@ -1,0 +1,100 @@
+"""Cross-validation against networkx as an independent oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import delta_plus_one_coloring, graphgen
+from repro.analysis.invariants import _degeneracy, class_degeneracy
+from repro.edge import build_line_graph, edge_coloring_congest
+from repro.runtime.graph import StaticGraph
+
+
+def to_networkx(graph):
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges)
+    return nx_graph
+
+
+class TestLineGraphAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_line_graph_isomorphic_structure(self, seed):
+        graph = graphgen.gnp_graph(20, 0.25, seed=seed)
+        ours, edge_index = build_line_graph(graph)
+        theirs = nx.line_graph(to_networkx(graph))
+        assert ours.n == theirs.number_of_nodes()
+        assert ours.m == theirs.number_of_edges()
+        # Exact adjacency match under the edge_index mapping.
+        for e1, e2 in theirs.edges():
+            a = edge_index[tuple(sorted(e1))]
+            b = edge_index[tuple(sorted(e2))]
+            assert ours.has_edge(a, b)
+
+
+class TestDegeneracyAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_degeneracy_equals_max_core_number(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 30)
+        graph = graphgen.gnp_graph(n, rng.uniform(0.05, 0.4), seed=seed)
+        adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+        ours = _degeneracy(graph.n, adjacency)
+        nx_graph = to_networkx(graph)
+        theirs = max(nx.core_number(nx_graph).values()) if graph.n else 0
+        assert ours == theirs
+
+    def test_class_degeneracy_on_known_graph(self):
+        graph = StaticGraph(7, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 3), (3, 6)])
+        per_class = class_degeneracy(graph, [0, 0, 0, 1, 1, 1, 1])
+        assert per_class == {0: 2, 1: 2}
+
+
+class TestColoringAgainstNetworkxValidation:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_output_passes_networkx_check(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 30)
+        graph = graphgen.gnp_graph(n, rng.uniform(0.05, 0.3), seed=seed)
+        result = delta_plus_one_coloring(graph)
+        nx_graph = to_networkx(graph)
+        coloring = {v: result.colors[v] for v in graph.vertices()}
+        # networkx's notion of a valid coloring: no edge endpoints share.
+        assert all(coloring[u] != coloring[v] for u, v in nx_graph.edges())
+        # And never worse than networkx's own greedy heuristic bound + slack.
+        nx_colors = nx.coloring.greedy_color(nx_graph, strategy="largest_first")
+        assert max(coloring.values(), default=0) <= graph.max_degree
+        assert max(nx_colors.values(), default=0) <= graph.max_degree
+
+    def test_edge_coloring_is_proper_line_graph_coloring(self):
+        graph = graphgen.random_regular(24, 5, seed=9)
+        result = edge_coloring_congest(graph)
+        nx_line = nx.line_graph(to_networkx(graph))
+        colors = {tuple(sorted(e)): c for e, c in result.edge_colors.items()}
+        for e1, e2 in nx_line.edges():
+            assert colors[tuple(sorted(e1))] != colors[tuple(sorted(e2))]
+
+
+class TestDoctests:
+    def test_module_doctests(self):
+        import doctest
+
+        import repro.linial.plan
+        import repro.mathutil.gf
+        import repro.mathutil.logstar
+        import repro.mathutil.primes
+
+        for module in (
+            repro.mathutil.logstar,
+            repro.mathutil.primes,
+            repro.mathutil.gf,
+            repro.linial.plan,
+        ):
+            failures, tried = doctest.testmod(module).failed, doctest.testmod(module).attempted
+            assert tried > 0
+            assert failures == 0, module.__name__

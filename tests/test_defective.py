@@ -1,0 +1,139 @@
+"""Tests for defective colorings (vertex and Kuhn's edge variant)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import coloring_defect, edge_coloring_defect
+from repro.defective import DefectiveLinialColoring, kuhn_defective_edge_coloring
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.runtime import ColoringEngine
+from tests.conftest import id_coloring
+
+
+class TestDefectiveVertexColoring:
+    @pytest.mark.parametrize("tolerance", [1, 2, 4])
+    def test_defect_within_planned_bound(self, tolerance):
+        graph = random_regular(60, 8, seed=1)
+        engine = ColoringEngine(graph)
+        stage = DefectiveLinialColoring(tolerance)
+        result = engine.run(stage, id_coloring(graph))
+        defect = coloring_defect(graph, result.int_colors)
+        assert defect <= stage.defect_bound
+        assert max(result.int_colors) < stage.out_palette_size
+
+    def test_palette_shrinks_with_tolerance(self):
+        graph = random_regular(64, 16, seed=2)
+        palettes = {}
+        for tolerance in (1, 4, 16):
+            stage = DefectiveLinialColoring(tolerance)
+            ColoringEngine(graph).run(stage, id_coloring(graph))
+            palettes[tolerance] = stage.out_palette_size
+        assert palettes[16] <= palettes[4] <= palettes[1]
+
+    def test_target_palette_is_quadratic_in_delta_over_p(self):
+        graph = random_regular(64, 16, seed=3)
+        delta = graph.max_degree
+        for tolerance in (2, 4):
+            stage = DefectiveLinialColoring(tolerance)
+            ColoringEngine(graph).run(stage, id_coloring(graph))
+            r = -(-delta // tolerance)
+            assert stage.out_palette_size <= (4 * r + 10) ** 2
+
+    def test_tolerance_one_still_bounded(self):
+        graph = gnp_graph(40, 0.15, seed=4)
+        stage = DefectiveLinialColoring(1)
+        result = ColoringEngine(graph).run(stage, id_coloring(graph))
+        assert coloring_defect(graph, result.int_colors) <= stage.defect_bound
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            DefectiveLinialColoring(0)
+
+    def test_rounds_are_log_star_plus_constant(self):
+        graph = cycle_graph(200)
+        stage = DefectiveLinialColoring(2)
+        result = ColoringEngine(graph).run(stage, id_coloring(graph))
+        from repro.mathutil import log_star
+
+        assert result.rounds_used <= log_star(graph.n) + 8
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 40)
+        graph = gnp_graph(n, rng.uniform(0, 0.3), seed=seed)
+        tolerance = rng.randint(1, 5)
+        stage = DefectiveLinialColoring(tolerance)
+        result = ColoringEngine(graph).run(stage, id_coloring(graph))
+        assert coloring_defect(graph, result.int_colors) <= stage.defect_bound
+        assert max(result.int_colors) < stage.out_palette_size
+
+
+class TestKuhnDefectiveEdgeColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(12),
+            cycle_graph(15),
+            star_graph(9),
+            complete_graph(7),
+            gnp_graph(30, 0.2, seed=1),
+            random_regular(24, 5, seed=2),
+        ],
+        ids=["path", "cycle", "star", "clique", "gnp", "regular"],
+    )
+    def test_two_defective_pairs(self, graph):
+        colors = kuhn_defective_edge_coloring(graph)
+        assert set(colors) == set(graph.edges)
+        delta = graph.max_degree
+        for i, j in colors.values():
+            assert 0 <= i < max(1, delta) and 0 <= j < max(1, delta)
+        # At each endpoint at most one *other* incident edge shares the color.
+        assert edge_coloring_defect(graph, colors) <= 1
+
+    def test_color_classes_are_paths_and_cycles(self):
+        graph = gnp_graph(40, 0.2, seed=3)
+        colors = kuhn_defective_edge_coloring(graph)
+        by_color = {}
+        for edge, color in colors.items():
+            by_color.setdefault(color, []).append(edge)
+        for edges in by_color.values():
+            # Each vertex is met by at most 2 edges of the class.
+            count = {}
+            for u, v in edges:
+                count[u] = count.get(u, 0) + 1
+                count[v] = count.get(v, 0) + 1
+            assert all(c <= 2 for c in count.values())
+
+    def test_outgoing_incoming_disjointness(self):
+        """At any vertex, outgoing edges get distinct i; incoming distinct j."""
+        graph = random_regular(20, 4, seed=4)
+        colors = kuhn_defective_edge_coloring(graph)
+        ids = graph.ids
+        for v in graph.vertices():
+            out_is, in_js = [], []
+            for u in graph.neighbors(v):
+                key = (v, u) if v < u else (u, v)
+                i, j = colors[key]
+                if ids[v] < ids[u]:
+                    out_is.append(i)
+                else:
+                    in_js.append(j)
+            assert len(out_is) == len(set(out_is))
+            assert len(in_js) == len(set(in_js))
+
+    def test_empty_graph(self):
+        from repro.runtime.graph import StaticGraph
+
+        assert kuhn_defective_edge_coloring(StaticGraph(3, [])) == {}

@@ -1,0 +1,76 @@
+"""Detailed tests for the defective-coloring plan internals."""
+
+import pytest
+
+from repro.defective.vertex import (
+    DefectiveLinialColoring,
+    defective_linial_next_color,
+)
+from repro.mathutil.primes import is_prime
+from repro.runtime.algorithm import NetworkInfo
+
+
+def configured(tolerance, n=10 ** 4, delta=16, palette=10 ** 4):
+    stage = DefectiveLinialColoring(tolerance)
+    stage.configure(NetworkInfo(n, delta, palette))
+    return stage
+
+
+class TestPlanStructure:
+    def test_tolerant_fields_are_primes_with_capacity(self):
+        stage = configured(tolerance=4)
+        current = (
+            stage.proper_plan[-1].out_palette
+            if stage.proper_plan
+            else stage.info.in_palette_size
+        )
+        for q in stage.tolerant_qs:
+            assert is_prime(q)
+            assert q ** 3 >= current  # injective degree-2 encoding
+            current = q * q
+
+    def test_defect_budget_is_sum_of_pigeonholes(self):
+        stage = configured(tolerance=4, delta=16)
+        expected = sum((2 * 16) // q for q in stage.tolerant_qs)
+        assert stage.defect_bound == expected
+
+    def test_bigger_tolerance_smaller_target(self):
+        palettes = {
+            p: configured(tolerance=p, delta=16).out_palette_size for p in (1, 4, 16)
+        }
+        assert palettes[16] <= palettes[4] <= palettes[1]
+
+    def test_rounds_bound_counts_both_phases(self):
+        stage = configured(tolerance=2)
+        assert stage.rounds_bound == len(stage.proper_plan) + len(stage.tolerant_qs)
+
+    def test_no_tolerant_steps_when_already_small(self):
+        # Tiny palette: the proper plan alone may land below the target.
+        stage = configured(tolerance=8, delta=16, palette=40)
+        assert stage.out_palette_size <= 40
+        # Defect budget only from actually-planned steps.
+        assert stage.defect_bound == sum((2 * 16) // q for q in stage.tolerant_qs)
+
+
+class TestTolerantStep:
+    def test_picks_minimum_conflict_point(self):
+        # q = 5, degree 2; neighbors chosen so x = 0 has a collision.
+        q = 5
+        me = 7  # digits (2, 1, 0): g(x) = 2 + x
+        neighbor = 2  # digits (2, 0, 0): g(x) = 2
+        out = defective_linial_next_color(me, [neighbor], q, 2)
+        x, value = out // q, out % q
+        # At x = 0 both evaluate to 2 — the step must prefer x > 0.
+        assert x != 0
+        assert value == (2 + x) % q
+
+    def test_identical_color_neighbors_ignored(self):
+        q = 5
+        out_with = defective_linial_next_color(7, [7, 7, 7], q, 2)
+        out_without = defective_linial_next_color(7, [], q, 2)
+        assert out_with == out_without
+
+    def test_ties_break_to_smallest_x(self):
+        q = 5
+        out = defective_linial_next_color(3, [], q, 2)
+        assert out // q == 0  # no conflicts anywhere: x = 0 chosen

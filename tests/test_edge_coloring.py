@@ -1,0 +1,214 @@
+"""Tests for the Section 5 edge-coloring pipeline (CONGEST / Bit-Round)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_edge_coloring
+from repro.edge import (
+    build_line_graph,
+    edge_coloring_bit_round,
+    edge_coloring_congest,
+)
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.mathutil import log_star
+
+
+class TestLineGraph:
+    def test_path_line_graph_is_path(self):
+        g = path_graph(5)
+        lg, index = build_line_graph(g)
+        assert lg.n == 4
+        assert lg.m == 3
+        assert lg.max_degree == 2
+
+    def test_star_line_graph_is_clique(self):
+        g = star_graph(6)
+        lg, _ = build_line_graph(g)
+        assert lg.n == 5
+        assert lg.m == 10  # K5
+
+    def test_max_degree_bound(self):
+        g = gnp_graph(30, 0.2, seed=1)
+        lg, _ = build_line_graph(g)
+        assert lg.max_degree <= 2 * g.max_degree - 2
+
+    def test_edge_index_complete(self):
+        g = cycle_graph(8)
+        lg, index = build_line_graph(g)
+        assert sorted(index.values()) == list(range(lg.n))
+        assert set(index) == set(g.edges)
+
+
+class TestCongestEdgeColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(12),
+            cycle_graph(17),
+            star_graph(10),
+            complete_graph(7),
+            grid_graph(4, 5),
+            gnp_graph(30, 0.15, seed=1),
+            random_regular(24, 5, seed=2),
+        ],
+        ids=["path", "cycle", "star", "clique", "grid", "gnp", "regular"],
+    )
+    def test_exact_two_delta_minus_one(self, graph):
+        result = edge_coloring_congest(graph, exact=True)
+        assert is_proper_edge_coloring(graph, result.edge_colors)
+        # Palette is exactly Delta_L + 1 of the line graph, which is at most
+        # (and often equal to) the classical 2 * Delta - 1.
+        lg, _ = build_line_graph(graph)
+        assert result.palette_size == lg.max_degree + 1
+        assert result.palette_size <= 2 * graph.max_degree - 1
+        assert max(result.edge_colors.values()) < result.palette_size
+
+    def test_inexact_variant_is_o_delta(self, any_graph):
+        if any_graph.m == 0:
+            return
+        result = edge_coloring_congest(any_graph, exact=False)
+        assert is_proper_edge_coloring(any_graph, result.edge_colors)
+        assert result.palette_size <= 6 * any_graph.max_degree + 8
+
+    def test_round_complexity(self):
+        for delta, n, seed in [(4, 64, 1), (6, 48, 2)]:
+            graph = random_regular(n, delta, seed=seed)
+            result = edge_coloring_congest(graph)
+            assert result.total_rounds <= 24 * delta + log_star(graph.n) + 24
+
+    def test_congest_message_size(self):
+        graph = gnp_graph(50, 0.1, seed=3)
+        result = edge_coloring_congest(graph)
+        assert result.max_message_bits <= 2 * math.ceil(math.log2(graph.n)) + 8
+
+    def test_bits_ledger_stages(self):
+        graph = random_regular(20, 4, seed=4)
+        result = edge_coloring_congest(graph)
+        assert set(result.rounds_by_stage) == {
+            "id-exchange",
+            "kuhn-2-defective",
+            "cole-vishkin",
+            "ag",
+            "exact-hybrid",
+        }
+        assert result.bits_per_edge_by_stage["ag"] >= result.rounds_by_stage["ag"] - 1
+
+    def test_known_ids_skip_exchange(self):
+        graph = cycle_graph(12)
+        with_ids = edge_coloring_congest(graph, neighbor_ids_known=True)
+        without = edge_coloring_congest(graph, neighbor_ids_known=False)
+        assert "id-exchange" not in with_ids.rounds_by_stage
+        assert (
+            with_ids.total_bits_per_edge
+            == without.total_bits_per_edge - without.bits_per_edge_by_stage["id-exchange"]
+        )
+
+    def test_empty_graph(self):
+        from repro.runtime.graph import StaticGraph
+
+        result = edge_coloring_congest(StaticGraph(4, []))
+        assert result.edge_colors == {}
+        assert result.total_rounds == 0
+
+    def test_single_edge(self):
+        graph = path_graph(2)
+        result = edge_coloring_congest(graph)
+        assert result.edge_colors == {(0, 1): 0}
+        assert result.palette_size == 1
+
+
+class TestBitRoundModel:
+    def test_bit_rounds_are_delta_plus_log_n(self):
+        for n, delta, seed in [(64, 4, 1), (128, 4, 2)]:
+            graph = random_regular(n, delta, seed=seed)
+            result, bit_rounds = edge_coloring_bit_round(graph)
+            budget = 40 * delta + 6 * math.ceil(math.log2(n)) + 40
+            assert bit_rounds <= budget
+
+    def test_known_ids_reduce_to_log_log(self):
+        graph = random_regular(96, 4, seed=3)
+        _, with_ids = edge_coloring_bit_round(graph, neighbor_ids_known=True)
+        _, without = edge_coloring_bit_round(graph, neighbor_ids_known=False)
+        assert with_ids < without
+        assert without - with_ids >= math.ceil(math.log2(graph.n)) - 1
+
+    def test_result_still_proper(self):
+        graph = gnp_graph(30, 0.2, seed=4)
+        result, _ = edge_coloring_bit_round(graph)
+        assert is_proper_edge_coloring(graph, result.edge_colors)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 30)
+        graph = gnp_graph(n, rng.uniform(0.05, 0.35), seed=seed)
+        if graph.m == 0:
+            return
+        result = edge_coloring_congest(graph)
+        assert is_proper_edge_coloring(graph, result.edge_colors)
+        assert result.palette_size <= max(1, 2 * graph.max_degree - 1)
+
+
+class TestPseudoforestCoverage:
+    """Every class adjacency must be covered by exactly one parent pointer —
+    the structural fact behind the head-pointer rule of Section 5 stage 3."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_all_class_adjacencies_covered(self, seed):
+        from collections import defaultdict
+
+        from repro.defective import kuhn_defective_edge_coloring
+
+        graph = gnp_graph(25, 0.25, seed=seed)
+        pair_of = kuhn_defective_edge_coloring(graph)
+        classes = defaultdict(list)
+        for edge, pair in pair_of.items():
+            classes[pair].append(edge)
+        for pair, class_edges in classes.items():
+            incident = defaultdict(list)
+            for edge in class_edges:
+                incident[edge[0]].append(edge)
+                incident[edge[1]].append(edge)
+            # Parent pointer: class neighbor at the head (higher-ID endpoint).
+            pointers = set()
+            for edge in class_edges:
+                u, v = edge
+                head = v if graph.ids[v] > graph.ids[u] else u
+                others = [e for e in incident[head] if e != edge]
+                assert len(others) <= 1  # 2-defectiveness per endpoint
+                for other in others:
+                    pointers.add(frozenset((edge, other)))
+            adjacencies = set()
+            for edges_at_vertex in incident.values():
+                for i in range(len(edges_at_vertex)):
+                    for j in range(i + 1, len(edges_at_vertex)):
+                        adjacencies.add(
+                            frozenset((edges_at_vertex[i], edges_at_vertex[j]))
+                        )
+            assert pointers == adjacencies
+
+
+class TestPipelineIdempotence:
+    def test_recoloring_an_optimal_coloring_is_cheap(self):
+        from repro import delta_plus_one_coloring
+
+        graph = random_regular(48, 6, seed=5)
+        first = delta_plus_one_coloring(graph)
+        again = delta_plus_one_coloring(graph, initial_coloring=first.colors)
+        assert max(again.colors) <= graph.max_degree
+        assert again.total_rounds <= first.total_rounds

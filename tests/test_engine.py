@@ -1,0 +1,243 @@
+"""Tests for the synchronous engine, visibility modes, metrics, pipelines."""
+
+import pytest
+
+from repro.errors import ImproperColoringError, PaletteOverflowError
+from repro.graphgen import cycle_graph, path_graph, star_graph
+from repro.runtime import (
+    ColoringEngine,
+    ColoringPipeline,
+    LocallyIterativeColoring,
+    NetworkInfo,
+    Visibility,
+)
+
+
+class IdentityStage(LocallyIterativeColoring):
+    name = "identity"
+
+    @property
+    def out_palette_size(self):
+        return self.info.in_palette_size
+
+    @property
+    def rounds_bound(self):
+        return 3
+
+    def step(self, round_index, color, neighbor_colors):
+        return color
+
+
+class DecrementStage(LocallyIterativeColoring):
+    """Shifts every color down by one per round until 0 — not proper-safe."""
+
+    name = "decrement"
+    maintains_proper = False
+
+    @property
+    def out_palette_size(self):
+        return self.info.in_palette_size
+
+    @property
+    def rounds_bound(self):
+        return self.info.in_palette_size
+
+    def step(self, round_index, color, neighbor_colors):
+        return max(0, color - 1)
+
+    def is_final(self, color):
+        return color == 0
+
+
+class VisibilityProbe(LocallyIterativeColoring):
+    """Records the neighborhood container type it was handed."""
+
+    name = "probe"
+    maintains_proper = False
+
+    def __init__(self):
+        super().__init__()
+        self.seen_types = set()
+
+    @property
+    def out_palette_size(self):
+        return self.info.in_palette_size
+
+    @property
+    def rounds_bound(self):
+        return 1
+
+    def step(self, round_index, color, neighbor_colors):
+        self.seen_types.add(type(neighbor_colors))
+        return color
+
+
+class CollidingStage(LocallyIterativeColoring):
+    """Claims properness but makes everything color 0 — must be caught."""
+
+    name = "colliding"
+    maintains_proper = True
+
+    @property
+    def out_palette_size(self):
+        return self.info.in_palette_size
+
+    @property
+    def rounds_bound(self):
+        return 2
+
+    def step(self, round_index, color, neighbor_colors):
+        return 0
+
+
+class OverflowStage(IdentityStage):
+    name = "overflow"
+
+    @property
+    def out_palette_size(self):
+        return 1
+
+
+class TestEngineBasics:
+    def test_runs_full_bound_without_finality(self):
+        g = path_graph(4)
+        result = ColoringEngine(g).run(IdentityStage(), [0, 1, 0, 1])
+        assert result.rounds_used == 3
+        assert result.int_colors == [0, 1, 0, 1]
+
+    def test_early_stop_on_finality(self):
+        g = path_graph(3)
+        result = ColoringEngine(g).run(DecrementStage(), [0, 2, 1])
+        assert result.rounds_used == 2
+        assert result.int_colors == [0, 0, 0]
+
+    def test_zero_rounds_if_initially_final(self):
+        g = path_graph(3)
+        result = ColoringEngine(g).run(DecrementStage(), [0, 0, 0])
+        assert result.rounds_used == 0
+
+    def test_initial_coloring_length_checked(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            ColoringEngine(g).run(IdentityStage(), [0, 1])
+
+    def test_history_recording(self):
+        g = path_graph(3)
+        engine = ColoringEngine(g, record_history=True)
+        result = engine.run(DecrementStage(), [2, 1, 0])
+        assert result.history[0] == [2, 1, 0]
+        assert result.history[-1] == [0, 0, 0]
+        assert len(result.history) == result.rounds_used + 1
+
+    def test_max_rounds_override(self):
+        g = path_graph(3)
+        result = ColoringEngine(g).run(DecrementStage(), [5, 5, 5], max_rounds=2)
+        assert result.rounds_used == 2
+        assert result.int_colors == [3, 3, 3]
+
+    def test_improper_claim_detected(self):
+        g = path_graph(3)
+        engine = ColoringEngine(g, check_proper_each_round=True)
+        with pytest.raises(ImproperColoringError):
+            engine.run(CollidingStage(), [0, 1, 2])
+
+    def test_improper_initial_detected(self):
+        g = path_graph(2)
+        engine = ColoringEngine(g, check_proper_each_round=True)
+        with pytest.raises(ImproperColoringError):
+            engine.run(IdentityStage(), [1, 1])
+
+    def test_palette_overflow_detected(self):
+        g = path_graph(2)
+        with pytest.raises(PaletteOverflowError):
+            ColoringEngine(g).run(OverflowStage(), [0, 1])
+
+
+class TestVisibility:
+    def test_local_mode_passes_tuple(self):
+        g = star_graph(5)
+        probe = VisibilityProbe()
+        ColoringEngine(g, visibility=Visibility.LOCAL).run(probe, [0, 1, 1, 1, 1])
+        assert probe.seen_types == {tuple}
+
+    def test_set_local_mode_passes_frozenset(self):
+        g = star_graph(5)
+        probe = VisibilityProbe()
+        ColoringEngine(g, visibility=Visibility.SET_LOCAL).run(probe, [0, 1, 1, 1, 1])
+        assert probe.seen_types == {frozenset}
+
+
+class TestMetrics:
+    def test_message_and_bit_accounting(self):
+        g = cycle_graph(6)  # m = 6
+        result = ColoringEngine(g).run(IdentityStage(), [0, 1, 0, 1, 0, 1])
+        assert result.metrics.total_rounds == 3
+        # 2 * m messages per round
+        assert all(r.messages == 12 for r in result.metrics.rounds)
+        # default payload: ceil(log2(palette=2)) = 1 bit
+        assert result.metrics.total_bits == 3 * 12 * 1
+
+    def test_changed_vertices_counted(self):
+        g = path_graph(3)
+        result = ColoringEngine(g).run(DecrementStage(), [2, 0, 1])
+        assert [r.changed_vertices for r in result.metrics.rounds] == [2, 1]
+
+    def test_bits_per_edge(self):
+        g = cycle_graph(4)
+        result = ColoringEngine(g).run(IdentityStage(), [0, 1, 0, 1])
+        assert result.metrics.bits_per_edge(g.m) == pytest.approx(
+            result.metrics.total_bits / 4
+        )
+
+
+class TestNetworkInfo:
+    def test_engine_configures_stage(self):
+        g = star_graph(4)
+        stage = IdentityStage()
+        ColoringEngine(g).run(stage, [0, 1, 2, 3])
+        assert stage.info.n == 4
+        assert stage.info.max_degree == 3
+        assert stage.info.in_palette_size == 4
+
+    def test_explicit_palette_respected(self):
+        g = path_graph(2)
+        stage = IdentityStage()
+        ColoringEngine(g).run(stage, [0, 1], in_palette_size=10)
+        assert stage.info.in_palette_size == 10
+
+    def test_invalid_info_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkInfo(-1, 2, 3)
+        with pytest.raises(ValueError):
+            NetworkInfo(3, 2, 0)
+
+    def test_unconfigured_stage_raises(self):
+        stage = IdentityStage()
+        with pytest.raises(RuntimeError):
+            stage.message_bits(0)
+
+
+class TestPipeline:
+    def test_stages_chain_palettes(self):
+        g = path_graph(4)
+        pipeline = ColoringPipeline([IdentityStage(), IdentityStage()])
+        result = pipeline.run(g, [0, 1, 2, 3])
+        assert result.total_rounds == 6
+        assert result.colors == [0, 1, 2, 3]
+        assert len(result.stage_results) == 2
+
+    def test_factories_materialized(self):
+        g = path_graph(2)
+        pipeline = ColoringPipeline([IdentityStage])
+        result = pipeline.run(g, [0, 1])
+        assert result.colors == [0, 1]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            ColoringPipeline([])
+
+    def test_rounds_by_stage(self):
+        g = path_graph(3)
+        pipeline = ColoringPipeline([DecrementStage()])
+        result = pipeline.run(g, [2, 1, 0])
+        assert result.rounds_by_stage() == {"decrement": 2}

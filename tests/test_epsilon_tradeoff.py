@@ -1,0 +1,137 @@
+"""Tests for the Corollary 7.3 palette/time tradeoff (epsilon variants)."""
+
+import pytest
+
+from repro.analysis import is_proper_coloring
+from repro.core.ag import AdditiveGroupColoring, ag_prime_for
+from repro.core.ag3 import ThreeDimensionalAG, ag3_prime_for
+from repro.graphgen import gnp_graph, random_regular
+from repro.runtime import ColoringEngine
+from tests.conftest import id_coloring
+
+
+class TestPrimeSelectionWithEpsilon:
+    def test_smaller_floor(self):
+        delta = 20
+        default = ag_prime_for(1, delta)
+        squeezed = ag_prime_for(1, delta, epsilon=0.5)
+        assert squeezed < default
+        assert squeezed >= 1.5 * delta
+
+    def test_epsilon_one_matches_delta_floor(self):
+        delta = 16
+        q = ag_prime_for(1, delta, epsilon=1.0)
+        assert q >= 2 * delta + 1
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ag_prime_for(10, 5, epsilon=0)
+        with pytest.raises(ValueError):
+            ag3_prime_for(10, 5, epsilon=-1)
+
+    def test_3ag_floor_relaxed(self):
+        delta = 20
+        assert ag3_prime_for(1, delta, epsilon=0.5) < ag3_prime_for(1, delta)
+
+
+class TestEpsilonAG:
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 1.0])
+    def test_converges_with_smaller_palette(self, epsilon):
+        graph = random_regular(60, 12, seed=int(epsilon * 100))
+        delta = graph.max_degree
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = AdditiveGroupColoring(epsilon=epsilon)
+        result = engine.run(stage, id_coloring(graph))
+        assert is_proper_coloring(graph, result.int_colors)
+        assert result.rounds_used <= stage.rounds_bound
+        # Palette within the requested slack (up to the next prime).
+        assert stage.q <= ag_prime_for(graph.n, delta, epsilon=epsilon)
+
+    def test_palette_shrinks_with_epsilon(self):
+        graph = random_regular(64, 16, seed=1)
+        palettes = {}
+        for epsilon in (0.25, 1.0, None):
+            engine = ColoringEngine(graph)
+            stage = AdditiveGroupColoring(epsilon=epsilon)
+            result = engine.run(stage, id_coloring(graph))
+            assert is_proper_coloring(graph, result.int_colors)
+            palettes[epsilon] = stage.q
+        assert palettes[0.25] <= palettes[1.0] <= palettes[None]
+
+    def test_rounds_bound_grows_as_epsilon_shrinks(self):
+        from repro.runtime.algorithm import NetworkInfo
+
+        bounds = {}
+        for epsilon in (0.1, 0.5, 1.0):
+            stage = AdditiveGroupColoring(epsilon=epsilon)
+            stage.configure(NetworkInfo(10 ** 4, 64, 80 * 80))
+            bounds[epsilon] = stage.rounds_bound
+        assert bounds[0.1] > bounds[0.5] >= bounds[1.0]
+
+    def test_effective_epsilon_at_least_requested(self):
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage = AdditiveGroupColoring(epsilon=0.3)
+        stage.configure(NetworkInfo(100, 40, 60 * 60))
+        assert stage.effective_epsilon >= 0.3 - 1e-9
+
+
+class TestEpsilon3AG:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0])
+    def test_converges(self, epsilon):
+        graph = random_regular(48, 8, seed=int(epsilon * 10))
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = ThreeDimensionalAG(epsilon=epsilon)
+        result = engine.run(stage, id_coloring(graph))
+        assert is_proper_coloring(graph, result.int_colors)
+        assert max(result.int_colors) < stage.p
+        assert result.rounds_used <= stage.rounds_bound
+
+    def test_smaller_palette_than_default(self):
+        graph = random_regular(48, 12, seed=3)
+        stages = {}
+        for epsilon in (0.5, None):
+            engine = ColoringEngine(graph)
+            stage = ThreeDimensionalAG(epsilon=epsilon)
+            engine.run(stage, id_coloring(graph))
+            stages[epsilon] = stage.p
+        assert stages[0.5] < stages[None]
+
+
+class TestLiteral3AGDeadlock:
+    """Demonstrates why the paper's literal phase-1 rule cannot converge
+    (the reproduction note in repro.core.ag3): two working neighbors with
+    equal (c, b) and different a rotate b in lockstep forever."""
+
+    def test_lockstep_pair_never_converges_under_literal_rule(self):
+        p = 7
+
+        def literal_step(color, neighbor):
+            c, b, a = color
+            if c != 0:
+                if neighbor[1] != b:  # the paper's literal test
+                    return (0, b, a)
+                return (c, (b + c) % p, a)
+            if neighbor[2] != a:
+                return (0, 0, a)
+            return (0, b, (a + b) % p)
+
+        u, v = (1, 5, 2), (1, 5, 4)
+        for _ in range(10 * p):
+            u, v = literal_step(u, v), literal_step(v, u)
+        # Still stuck in phase 1 with equal b's — a genuine deadlock.
+        assert u[0] != 0 and v[0] != 0
+        assert u[1] == v[1]
+
+    def test_implemented_rule_converges_on_same_input(self):
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage = ThreeDimensionalAG()
+        stage.configure(NetworkInfo(2, 1, 300))
+        u = stage.encode_initial(5 + 5 * stage.p + 1 * stage.p ** 2)
+        v = stage.encode_initial(4 + 5 * stage.p + 1 * stage.p ** 2)
+        assert u[:2] == v[:2]  # same (c, b), different a: the deadlock input
+        for r in range(2 * stage.p):
+            u, v = stage.step(r, u, (v,)), stage.step(r, v, (u,))
+            assert u != v
+        assert stage.is_final(u) and stage.is_final(v)

@@ -1,0 +1,72 @@
+"""Every example script must run clean end-to-end."""
+
+import importlib.util
+import io
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "sensor_network_tdma",
+    "dynamic_network_selfstab",
+    "link_scheduling_edge_coloring",
+    "anonymous_setlocal",
+    "cluster_head_election",
+    "p2p_gossip_schedule",
+    "reproduce_paper",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    module = load_example(name)
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out.strip(), "example %s produced no output" % name
+
+
+def test_every_example_file_is_covered():
+    present = {
+        fname[:-3]
+        for fname in os.listdir(EXAMPLES_DIR)
+        if fname.endswith(".py")
+    }
+    assert present == set(EXAMPLES)
+
+
+def test_collect_results_builds_report(tmp_path):
+    """The report collector stitches whatever tables exist."""
+    import importlib.util
+
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir, "benchmarks", "collect_results.py"
+    )
+    spec = importlib.util.spec_from_file_location("collect_results", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "T1.txt").write_text("[T1] demo table\nrow")
+    text = module.collect(str(results))
+    assert "[T1] demo table" in text
+    assert "Missing" in text  # the other ids have not been run
+
+    import pytest as _pytest
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with _pytest.raises(FileNotFoundError):
+        module.collect(str(empty))

@@ -1,0 +1,263 @@
+"""Executes the docs/extending.md tutorial code — the tutorial cannot rot.
+
+``DoubleStepAG`` is character-for-character the worked example from the
+tutorial; ``LazyAG`` is the tutorial's cautionary counterexample, kept here
+to assert that it *does* violate properness exactly as documented.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphgen
+from repro.analysis import is_proper_coloring
+from repro.core.ag import AdditiveGroupColoring, ag_prime_for
+from repro.errors import ImproperColoringError
+from repro.runtime import ColoringEngine, LocallyIterativeColoring, Visibility
+from repro.selfstab import SelfStabAlgorithm
+
+
+class DoubleStepAG(LocallyIterativeColoring):
+    name = "double-step-ag"
+    maintains_proper = True
+    uniform_step = True
+
+    def configure(self, info):
+        super().configure(info)
+        self.q = ag_prime_for(info.in_palette_size, info.max_degree)
+
+    @property
+    def out_palette_size(self):
+        return self.q
+
+    @property
+    def rounds_bound(self):
+        return self.q
+
+    def encode_initial(self, color):
+        return (color // self.q, color % self.q)
+
+    def step(self, round_index, color, neighbor_colors):
+        a, b = color
+        if any(c[1] == b for c in neighbor_colors):
+            return (a, (b + 2 * a) % self.q)
+        return (0, b)
+
+    def is_final(self, color):
+        return color[0] == 0
+
+    def decode_final(self, color):
+        return color[1]
+
+
+class LazyAG(LocallyIterativeColoring):
+    """The tutorial's WRONG variant: a calm-streak bit breaks the pair-
+    distinctness invariant (see docs/extending.md)."""
+
+    name = "lazy-ag"
+    maintains_proper = True  # a false claim — the engine must catch it
+    uniform_step = True
+
+    def configure(self, info):
+        super().configure(info)
+        self.q = ag_prime_for(info.in_palette_size, info.max_degree)
+
+    @property
+    def out_palette_size(self):
+        return self.q
+
+    @property
+    def rounds_bound(self):
+        return 2 * self.q + 2
+
+    def encode_initial(self, color):
+        return (color // self.q, color % self.q, 0)
+
+    def step(self, round_index, color, neighbor_colors):
+        a, b, calm = color
+        if any(c[1] == b for c in neighbor_colors):
+            return (a, (b + a) % self.q, 0)
+        if calm == 0 and a != 0:
+            return (a, b, 1)
+        return (0, b, 1)
+
+    def is_final(self, color):
+        return color[0] == 0
+
+    def decode_final(self, color):
+        return color[1]
+
+
+class TestTutorialCode:
+    def test_quoted_run_snippet(self):
+        graph = graphgen.random_regular(48, 6, seed=1)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        result = engine.run(DoubleStepAG(), list(range(graph.n)))
+        assert is_proper_coloring(graph, result.int_colors)
+
+    def test_rounds_within_bound(self):
+        graph = graphgen.gnp_graph(30, 0.25, seed=2)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        result = engine.run(DoubleStepAG(), list(range(graph.n)))
+        assert result.rounds_used <= ag_prime_for(graph.n, graph.max_degree)
+
+    def test_checklist_set_local(self):
+        graph = graphgen.gnp_graph(30, 0.2, seed=3)
+        initial = list(range(graph.n))
+        runs = [
+            ColoringEngine(graph, visibility=v).run(DoubleStepAG(), initial).int_colors
+            for v in (Visibility.LOCAL, Visibility.SET_LOCAL)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_checklist_final_states_fixed(self):
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage = DoubleStepAG()
+        stage.configure(NetworkInfo(20, 3, 49))
+        final = (0, 4)
+        for nbrs in ((), ((1, 4),), ((0, 2), (3, 4))):
+            assert stage.step(0, final, nbrs) == final
+
+    def test_same_palette_as_eager_ag(self):
+        graph = graphgen.random_regular(60, 8, seed=4)
+        initial = list(range(graph.n))
+        engine = ColoringEngine(graph)
+        eager = engine.run(AdditiveGroupColoring(), initial)
+        double = engine.run(DoubleStepAG(), initial)
+        assert is_proper_coloring(graph, double.int_colors)
+        assert max(double.int_colors) < ag_prime_for(graph.n, graph.max_degree)
+        assert eager.num_colors <= double.num_colors + graph.max_degree
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = graphgen.gnp_graph(rng.randint(2, 30), rng.uniform(0.05, 0.3), seed=seed)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = DoubleStepAG()
+        result = engine.run(stage, list(range(graph.n)))
+        assert is_proper_coloring(graph, result.int_colors)
+        assert result.rounds_used <= stage.q
+
+
+class TestCautionaryCounterexample:
+    def test_lazy_ag_violates_properness_as_documented(self):
+        """The tutorial's exact failure: the engine catches the collision."""
+        graph = graphgen.random_regular(48, 6, seed=1)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        with pytest.raises(ImproperColoringError):
+            engine.run(LazyAG(), list(range(graph.n)))
+
+    def test_documented_micro_trace(self):
+        """The two-vertex trace from docs/extending.md, literally."""
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage = LazyAG()
+        stage.configure(NetworkInfo(10, 2, 25))
+        u, v = (1, 2, 0), (1, 3, 0)
+        u2 = stage.step(0, u, (v,))        # conflict? b=2 vs 3: no -> waits
+        assert u2 == (1, 2, 1)
+        # Drive the actual collision: u at (1,2,*) rotating onto v's pair.
+        u, v = (1, 2, 0), (1, 3, 0)
+        u = stage.step(0, u, ((0, 2, 1),))   # finalized neighbor shares b=2
+        v = stage.step(0, v, ((1, 9, 0),))   # calm round: waits in place
+        assert u[:2] == v[:2] == (1, 3)      # pairs collided
+        u_next = stage.step(1, u, (v,))
+        v_next = stage.step(1, v, (u,))
+        assert u_next == v_next              # monochromatic edge — the bug
+
+
+class TestTutorialStaysInSync:
+    def test_doc_contains_the_exact_class(self):
+        import os
+
+        doc_path = os.path.join(
+            os.path.dirname(__file__), os.pardir, "docs", "extending.md"
+        )
+        with open(doc_path) as handle:
+            doc = handle.read()
+        for fragment in (
+            "class DoubleStepAG(LocallyIterativeColoring):",
+            "return (a, (b + 2 * a) % self.q)",
+            "## A cautionary counterexample",
+            "ImproperColoringError",
+        ):
+            assert fragment in doc
+
+
+class LocalLeaderBeacon(SelfStabAlgorithm):
+    """Each vertex maintains a RAM bit: "my ID is a local maximum".
+
+    IDs are ROM, so they are broadcast truthfully alongside the fallible
+    bit; one fault-free round recomputes every bit from scratch, giving
+    stabilization time 1 and adjustment radius 0.
+    """
+
+    name = "local-leader-beacon"
+
+    def fresh_ram(self, vertex):
+        return False
+
+    def visible(self, vertex, ram):
+        return (vertex, bool(ram))   # (ROM id, RAM bit)
+
+    def transition(self, vertex, ram, neighbor_visibles):
+        return all(other_id < vertex for other_id, _ in neighbor_visibles)
+
+    def is_legal(self, graph, rams):
+        for v in graph.vertices():
+            expected = all(u < v for u in graph.neighbors(v))
+            if bool(rams[v]) != expected:
+                return False
+        return True
+
+
+class TestSelfStabTutorial:
+    def _engine(self, seed=1):
+        from repro.selfstab import SelfStabEngine
+        from tests.test_selfstab_coloring import build_dynamic
+
+        g = build_dynamic(20, 4, 0.25, seed=seed)
+        return g, SelfStabEngine(g, LocalLeaderBeacon(20, 4))
+
+    def test_stabilizes_in_one_round(self):
+        g, engine = self._engine()
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= 2  # one computing round + one confirming round
+
+    def test_survives_arbitrary_corruption(self):
+        from repro.selfstab import FaultCampaign
+
+        g, engine = self._engine(seed=2)
+        engine.run_to_quiescence()
+        campaign = FaultCampaign(seed=3)
+        campaign.corrupt_random_rams(engine, 20)
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+
+    def test_adjustment_radius_zero(self):
+        g, engine = self._engine(seed=4)
+        engine.run_to_quiescence()
+        victim = g.vertices()[0]
+        engine.reset_touched()
+        engine.corrupt(victim, "garbage")
+        engine.run_to_quiescence()
+        assert engine.adjustment_radius([victim]) == 0
+
+    def test_doc_contains_the_exact_class(self):
+        import os
+
+        doc_path = os.path.join(
+            os.path.dirname(__file__), os.pardir, "docs", "extending.md"
+        )
+        with open(doc_path) as handle:
+            doc = handle.read()
+        for fragment in (
+            "class LocalLeaderBeacon(SelfStabAlgorithm):",
+            "return all(other_id < vertex for other_id, _ in neighbor_visibles)",
+        ):
+            assert fragment in doc

@@ -1,0 +1,101 @@
+"""A full-stack scenario test: the life of one network, end to end.
+
+Walks a realistic deployment through every subsystem in sequence, asserting
+cross-module invariants at each step — the integration test of the whole
+library rather than any one algorithm:
+
+1. bring up a sensor field and compute TDMA slots (static exact coloring);
+2. derive a link schedule (CONGEST edge coloring) and a gossip matching;
+3. elect cluster heads (MIS) consistent with the coloring;
+4. go dynamic: hand the same topology to the self-stabilizing stack,
+   survive a fault storm, and verify the re-stabilized palette;
+5. grow the network (within the ROM bounds) and re-verify;
+6. cross-check every artifact with the analysis module.
+"""
+
+from repro import delta_plus_one_exact_no_reduction, graphgen
+from repro.analysis import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    is_proper_edge_coloring,
+    palette_histogram,
+)
+from repro.apps import locally_iterative_maximal_matching, locally_iterative_mis
+from repro.edge import edge_coloring_congest
+from repro.runtime.graph import DynamicGraph
+from repro.selfstab import (
+    FaultCampaign,
+    SelfStabEngine,
+    SelfStabExactColoring,
+    SelfStabMIS,
+)
+
+
+class TestNetworkLifecycle:
+    def test_whole_story(self):
+        # 1. Static bring-up.
+        field = graphgen.unit_disk_graph(n=70, radius=0.18, seed=33, degree_cap=6)
+        delta = field.max_degree
+        slots = delta_plus_one_exact_no_reduction(field)
+        assert is_proper_coloring(field, slots.colors)
+        assert max(slots.colors, default=0) <= delta
+        histogram = palette_histogram(slots.colors)
+        assert sum(histogram.values()) == field.n
+
+        # 2. Link schedule + gossip matching.
+        if field.m:
+            schedule = edge_coloring_congest(field, exact=True)
+            assert is_proper_edge_coloring(field, schedule.edge_colors)
+            assert schedule.palette_size <= max(1, 2 * delta - 1)
+            matching = locally_iterative_maximal_matching(field, schedule)
+            assert is_maximal_matching(field, matching.edges)
+            # Matched edges are a subset of slot-0..k of the schedule.
+            assert set(matching.edges) <= set(schedule.edge_colors)
+
+        # 3. Cluster heads, consistent with the slot assignment.
+        heads = locally_iterative_mis(field, slots)
+        assert is_maximal_independent_set(field, heads.members)
+
+        # 4. The same topology goes dynamic.
+        n_bound = field.n + 10
+        delta_bound = max(delta, 4)
+        dyn = DynamicGraph(n_bound, delta_bound)
+        for v in field.vertices():
+            dyn.add_vertex(v)
+        for u, v in field.edges:
+            dyn.add_edge(u, v)
+        coloring = SelfStabExactColoring(n_bound, delta_bound)
+        engine = SelfStabEngine(dyn, coloring)
+        assert engine.run_to_quiescence() <= coloring.stabilization_bound()
+        campaign = FaultCampaign(seed=34)
+        campaign.corrupt_random_rams(engine, field.n)
+        campaign.churn_edges(engine, removals=2, additions=2)
+        assert engine.run_to_quiescence() <= coloring.stabilization_bound()
+        finals = coloring.final_colors(dyn, engine.rams)
+        assert max(finals.values()) <= delta_bound
+        for v in dyn.vertices():
+            for u in dyn.neighbors(v):
+                assert finals[u] != finals[v]
+
+        # 5. Growth within ROM bounds.
+        new_nodes = [v for v in range(n_bound) if not dyn.is_present(v)][:5]
+        for v in new_nodes:
+            engine.spawn_vertex(v)
+        anchor = dyn.vertices()[0]
+        for v in new_nodes:
+            if (
+                dyn.degree(anchor) < delta_bound
+                and dyn.degree(v) < delta_bound
+            ):
+                engine.add_edge(anchor, v)
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+
+        # 6. An MIS layer over the grown network.
+        mis_algorithm = SelfStabMIS(n_bound, delta_bound)
+        mis_engine = SelfStabEngine(dyn, mis_algorithm)
+        mis_engine.run_to_quiescence()
+        members = mis_algorithm.mis_members(dyn, mis_engine.rams)
+        snapshot, index = dyn.snapshot()
+        assert is_maximal_independent_set(snapshot, {index[v] for v in members})

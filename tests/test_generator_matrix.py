@@ -1,0 +1,87 @@
+"""Every generator family × every major entry point — the compatibility matrix.
+
+Cheap but broad: ensures no graph family trips an edge case in any of the
+library's top-level algorithms.
+"""
+
+import pytest
+
+from repro import (
+    delta_plus_one_coloring,
+    delta_plus_one_exact_no_reduction,
+    graphgen,
+    one_plus_eps_delta_coloring,
+)
+from repro.analysis import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    is_proper_edge_coloring,
+)
+from repro.apps import locally_iterative_maximal_matching, locally_iterative_mis
+from repro.baselines import bek_delta_plus_one
+from repro.edge import edge_coloring_congest
+
+FAMILIES = [
+    ("path", lambda: graphgen.path_graph(18)),
+    ("cycle", lambda: graphgen.cycle_graph(17)),
+    ("complete", lambda: graphgen.complete_graph(8)),
+    ("star", lambda: graphgen.star_graph(12)),
+    ("grid", lambda: graphgen.grid_graph(4, 5)),
+    ("hypercube", lambda: graphgen.hypercube_graph(4)),
+    ("tree", lambda: graphgen.random_tree(24, seed=1)),
+    ("gnp", lambda: graphgen.gnp_graph(24, 0.2, seed=2)),
+    ("regular", lambda: graphgen.random_regular(20, 4, seed=3)),
+    ("bounded", lambda: graphgen.bounded_degree_random(24, 4, 30, seed=4)),
+    ("bipartite", lambda: graphgen.random_bipartite(10, 12, 0.25, seed=5)),
+    ("unit-disk", lambda: graphgen.unit_disk_graph(24, 0.3, seed=6, degree_cap=5)),
+    ("barbell", lambda: graphgen.barbell_of_cliques(5, 4)),
+    ("caterpillar", lambda: graphgen.caterpillar_graph(6, 3)),
+    ("complete-bipartite", lambda: graphgen.complete_bipartite_graph(5, 7)),
+    ("circulant", lambda: graphgen.circulant_graph(18, (1, 4))),
+    (
+        "disconnected",
+        lambda: graphgen.disjoint_union(
+            [graphgen.cycle_graph(5), graphgen.path_graph(4)]
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=FAMILIES, ids=lambda pair: pair[0])
+def family_graph(request):
+    """One representative graph per generator family."""
+    return request.param[1]()
+
+
+class TestMatrix:
+    def test_vertex_colorings(self, family_graph):
+        graph = family_graph
+        for runner in (
+            delta_plus_one_coloring,
+            delta_plus_one_exact_no_reduction,
+        ):
+            result = runner(graph)
+            assert is_proper_coloring(graph, result.colors)
+            assert max(result.colors, default=0) <= graph.max_degree
+        bek = bek_delta_plus_one(graph)
+        assert is_proper_coloring(graph, bek.colors)
+
+    def test_sublinear_coloring(self, family_graph):
+        graph = family_graph
+        result = one_plus_eps_delta_coloring(graph)
+        assert is_proper_coloring(graph, result.colors)
+
+    def test_edge_coloring_and_matching(self, family_graph):
+        graph = family_graph
+        if graph.m == 0:
+            return
+        edges = edge_coloring_congest(graph)
+        assert is_proper_edge_coloring(graph, edges.edge_colors)
+        matching = locally_iterative_maximal_matching(graph, edges)
+        assert is_maximal_matching(graph, matching.edges)
+
+    def test_mis(self, family_graph):
+        graph = family_graph
+        result = locally_iterative_mis(graph)
+        assert is_maximal_independent_set(graph, result.members)

@@ -1,0 +1,63 @@
+"""Golden-output regression tests.
+
+The algorithms are fully deterministic, so fixed seeds pin down exact
+outputs.  Any change to these values means an (intentional or not) change
+to algorithm behavior — update deliberately.
+"""
+
+from repro import delta_plus_one_coloring, delta_plus_one_exact_no_reduction
+from repro.core import AdditiveGroupColoring, ThreeDimensionalAG
+from repro.edge import edge_coloring_congest
+from repro.graphgen import cycle_graph, path_graph, random_regular
+from repro.runtime import ColoringEngine
+
+
+class TestGoldenOutputs:
+    def test_ag_on_small_cycle(self):
+        graph = cycle_graph(8)
+        engine = ColoringEngine(graph)
+        stage = AdditiveGroupColoring()
+        run = engine.run(stage, list(range(8)))
+        assert stage.q == 5
+        assert run.int_colors == [0, 1, 2, 3, 4, 0, 1, 2]
+        assert run.rounds_used == 1
+
+    def test_3ag_on_small_path(self):
+        graph = path_graph(6)
+        engine = ColoringEngine(graph)
+        stage = ThreeDimensionalAG()
+        run = engine.run(stage, list(range(6)))
+        assert stage.p == 7
+        assert run.int_colors == [0, 1, 2, 3, 4, 5]
+        assert run.rounds_used == 0  # colors < p are final triples already
+
+    def test_pipeline_on_seeded_regular_graph(self):
+        graph = random_regular(24, 4, seed=7)
+        result = delta_plus_one_coloring(graph)
+        assert result.total_rounds == 9
+        assert result.colors == [
+            0, 1, 2, 3, 4, 2, 2, 0, 1, 0, 0, 1,
+            2, 3, 3, 1, 2, 1, 1, 0, 1, 0, 4, 3,
+        ]
+
+    def test_exact_pipeline_on_seeded_regular_graph(self):
+        graph = random_regular(24, 4, seed=7)
+        result = delta_plus_one_exact_no_reduction(graph)
+        assert result.total_rounds == 8
+        assert result.colors == [
+            0, 1, 2, 3, 4, 0, 1, 4, 4, 0, 2, 1,
+            2, 3, 3, 1, 0, 1, 3, 2, 4, 3, 4, 3,
+        ]
+
+    def test_edge_coloring_on_small_cycle(self):
+        graph = cycle_graph(6)
+        result = edge_coloring_congest(graph)
+        assert result.palette_size == 3
+        assert result.edge_colors == {
+            (0, 1): 0,
+            (0, 5): 2,
+            (1, 2): 2,
+            (2, 3): 0,
+            (3, 4): 1,
+            (4, 5): 0,
+        }

@@ -1,0 +1,215 @@
+"""Tests for the graph substrate (StaticGraph / DynamicGraph)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.graph import DynamicGraph, StaticGraph
+
+
+class TestStaticGraph:
+    def test_basic_construction(self):
+        g = StaticGraph(4, [(0, 1), (1, 2), (2, 3), (1, 2)])
+        assert g.n == 4
+        assert g.m == 3  # duplicate collapsed
+        assert g.edges == ((0, 1), (1, 2), (2, 3))
+        assert g.neighbors(1) == (0, 2)
+        assert g.degree(1) == 2
+        assert g.max_degree == 2
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(0, 3)
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            StaticGraph(3, [(1, 1)])
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError):
+            StaticGraph(3, [(0, 3)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            StaticGraph(-1, [])
+
+    def test_empty_graph(self):
+        g = StaticGraph(0, [])
+        assert g.n == 0
+        assert g.max_degree == 0
+        assert list(g.vertices()) == []
+
+    def test_default_ids_are_indices(self):
+        g = StaticGraph(3, [(0, 1)])
+        assert g.ids == (0, 1, 2)
+
+    def test_custom_ids_must_be_unique(self):
+        with pytest.raises(ValueError):
+            StaticGraph(3, [], ids=[5, 5, 6])
+        with pytest.raises(ValueError):
+            StaticGraph(3, [], ids=[1, 2])
+
+    def test_from_networkx_relabels(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from([(10, 20), (20, 30)])
+        g = StaticGraph.from_networkx(nx_graph)
+        assert g.n == 3
+        assert g.m == 2
+        assert g.ids == (10, 20, 30)
+
+    def test_from_networkx_nonint_labels(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("a", "b")
+        g = StaticGraph.from_networkx(nx_graph)
+        assert g.n == 2
+        assert g.ids == (0, 1)
+
+    def test_bfs_distances_single_source(self):
+        g = StaticGraph(5, [(0, 1), (1, 2), (2, 3)])  # vertex 4 isolated
+        d = g.bfs_distances([0])
+        assert d == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert 4 not in d
+
+    def test_bfs_distances_multi_source(self):
+        g = StaticGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        d = g.bfs_distances([0, 4])
+        assert d[2] == 2
+        assert d[1] == 1 and d[3] == 1
+
+    def test_subgraph_induced(self):
+        g = StaticGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub, index = g.subgraph([0, 1, 4])
+        assert sub.n == 3
+        assert sub.m == 2  # (0,1) and (0,4)
+        assert index == {0: 0, 1: 1, 4: 2}
+        assert sub.ids == (0, 1, 4)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30)
+    def test_degree_sum_is_twice_edges(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 30)
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.2
+        ]
+        g = StaticGraph(n, edges)
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
+
+
+class TestDynamicGraph:
+    def test_vertices_lifecycle(self):
+        g = DynamicGraph(5, 3)
+        g.add_vertex(0)
+        g.add_vertex(1)
+        assert g.vertices() == [0, 1]
+        g.remove_vertex(0)
+        assert g.vertices() == [1]
+        g.remove_vertex(0)  # idempotent
+        assert g.n == 1
+
+    def test_edges_require_present_endpoints(self):
+        g = DynamicGraph(4, 2)
+        g.add_vertex(0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1)
+
+    def test_degree_bound_enforced(self):
+        g = DynamicGraph(5, 2)
+        for v in range(4):
+            g.add_vertex(v)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+
+    def test_remove_vertex_cleans_edges(self):
+        g = DynamicGraph(4, 3)
+        for v in range(3):
+            g.add_vertex(v)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.remove_vertex(1)
+        assert g.edges() == []
+        assert g.neighbors(0) == ()
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph(3, 2)
+        g.add_vertex(1)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_snapshot_round_trip(self):
+        g = DynamicGraph(10, 4)
+        for v in (2, 5, 7):
+            g.add_vertex(v)
+        g.add_edge(2, 5)
+        g.add_edge(5, 7)
+        static, index = g.snapshot()
+        assert static.n == 3
+        assert static.ids == (2, 5, 7)
+        assert static.has_edge(index[2], index[5])
+        assert static.has_edge(index[5], index[7])
+        assert not static.has_edge(index[2], index[7])
+
+    def test_bfs_over_present_subgraph(self):
+        g = DynamicGraph(6, 4)
+        for v in range(5):
+            g.add_vertex(v)
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            g.add_edge(a, b)
+        g.remove_vertex(2)
+        d = g.bfs_distances([0])
+        assert d == {0: 0, 1: 1}
+
+    def test_out_of_range_vertex(self):
+        g = DynamicGraph(3, 2)
+        with pytest.raises(ValueError):
+            g.add_vertex(3)
+
+    def test_edge_add_idempotent(self):
+        g = DynamicGraph(3, 2)
+        g.add_vertex(0)
+        g.add_vertex(1)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.edges() == [(0, 1)]
+
+
+class TestInterop:
+    def test_to_networkx_round_trip(self):
+        g = StaticGraph(5, [(0, 1), (1, 2), (3, 4)], ids=[10, 11, 12, 13, 14])
+        nx_graph = g.to_networkx()
+        assert set(nx_graph.nodes()) == set(range(5))
+        assert set(map(tuple, map(sorted, nx_graph.edges()))) == set(g.edges)
+        assert nx_graph.nodes[2]["id"] == 12
+        back = StaticGraph.from_networkx(nx_graph)
+        assert back.edges == g.edges
+
+    def test_dynamic_from_static(self):
+        g = StaticGraph(4, [(0, 1), (1, 2), (2, 3)])
+        dynamic = DynamicGraph.from_static(g)
+        assert dynamic.n == 4
+        assert dynamic.edges() == list(g.edges)
+        assert dynamic.delta_bound == g.max_degree
+
+    def test_dynamic_from_static_with_slack(self):
+        g = StaticGraph(3, [(0, 1)])
+        dynamic = DynamicGraph.from_static(g, n_bound=10, delta_bound=5)
+        assert dynamic.n_bound == 10
+        dynamic.add_vertex(7)
+        dynamic.add_edge(0, 7)
+        assert dynamic.has_edge(0, 7)
+
+    def test_dynamic_from_static_selfstab_ready(self):
+        from repro.selfstab import SelfStabColoring, SelfStabEngine
+        from repro.graphgen import random_regular
+
+        g = random_regular(20, 4, seed=91)
+        dynamic = DynamicGraph.from_static(g)
+        engine = SelfStabEngine(dynamic, SelfStabColoring(20, 4))
+        engine.run_to_quiescence()
+        assert engine.is_legal()

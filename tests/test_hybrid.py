@@ -1,0 +1,175 @@
+"""Tests for the exact-(Delta+1) high/low hybrid (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.core.ag import AdditiveGroupColoring
+from repro.core.hybrid import ExactDeltaPlusOneHybrid, largest_prime_at_most
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.runtime import ColoringEngine
+from repro.runtime.algorithm import NetworkInfo
+from tests.conftest import assert_proper, id_coloring
+
+
+class TestPrimeHelper:
+    def test_largest_prime_at_most(self):
+        assert largest_prime_at_most(10) == 7
+        assert largest_prime_at_most(13) == 13
+        assert largest_prime_at_most(2) == 2
+        assert largest_prime_at_most(1) is None
+
+    def test_bertrand_gives_p_above_n(self):
+        for delta in range(1, 200):
+            n = delta + 1
+            p = largest_prime_at_most(2 * n)
+            assert p is not None and p > n
+
+
+def ag_then_hybrid(graph, check=True):
+    """Run AG from the ID coloring, then the hybrid, returning both results."""
+    engine = ColoringEngine(graph, check_proper_each_round=check)
+    ag = AdditiveGroupColoring()
+    ag_run = engine.run(ag, id_coloring(graph))
+    hybrid = ExactDeltaPlusOneHybrid()
+    hybrid_run = engine.run(
+        hybrid, ag_run.int_colors, in_palette_size=ag.out_palette_size
+    )
+    return hybrid, hybrid_run
+
+
+class TestExactColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(20),
+            cycle_graph(19),
+            star_graph(14),
+            complete_graph(8),
+            gnp_graph(45, 0.15, seed=1),
+            random_regular(36, 6, seed=2),
+        ],
+        ids=["path", "cycle", "star", "clique", "gnp", "regular"],
+    )
+    def test_exactly_delta_plus_one_colors(self, graph):
+        hybrid, run = ag_then_hybrid(graph)
+        assert_proper(graph, run.int_colors, "hybrid output")
+        assert max(run.int_colors) <= graph.max_degree
+        assert run.rounds_used <= hybrid.rounds_bound
+
+    def test_capacity_guard(self):
+        graph = path_graph(3)
+        hybrid = ExactDeltaPlusOneHybrid()
+        engine = ColoringEngine(graph)
+        with pytest.raises(ValueError):
+            engine.run(hybrid, [0, 1, 2], in_palette_size=10 ** 6)
+
+
+class TestStepSemantics:
+    def _configured(self, delta=4):
+        stage = ExactDeltaPlusOneHybrid()
+        stage.configure(NetworkInfo(30, delta, 2 * (delta + 1)))
+        return stage
+
+    def test_low_final_is_absorbing(self):
+        stage = self._configured()
+        color = ("L", 0, 2)
+        assert stage.step(0, color, (("L", 1, 2), ("H", 3, 2))) == color
+
+    def test_low_working_ignores_high_neighbors(self):
+        stage = self._configured()
+        # Only the high neighbor shares a=3: the low vertex still finalizes.
+        assert stage.step(0, ("L", 1, 3), (("H", 2, 3),)) == ("L", 0, 3)
+
+    def test_low_working_conflicts_with_low(self):
+        stage = self._configured()
+        n = stage.n_colors
+        assert stage.step(0, ("L", 1, 3), (("L", 0, 3),)) == ("L", 1, 4 % n)
+
+    def test_high_gated_by_low_working_neighbor(self):
+        stage = self._configured()
+        p = stage.p
+        # No conflict, but a low working neighbor exists: keep rotating.
+        out = stage.step(0, ("H", 2, 5), (("L", 1, 1),))
+        assert out == ("H", 2, (5 + 2) % p)
+
+    def test_high_conflicts_with_high_same_a(self):
+        stage = self._configured()
+        p = stage.p
+        out = stage.step(0, ("H", 2, 5), (("H", 3, 5),))
+        assert out == ("H", 2, (5 + 2) % p)
+
+    def test_high_conflicts_with_low_final_same_a(self):
+        stage = self._configured()
+        p = stage.p
+        out = stage.step(0, ("H", 2, 3), (("L", 0, 3),))
+        assert out == ("H", 2, (3 + 2) % p)
+
+    def test_high_lands_low_final(self):
+        stage = self._configured()
+        out = stage.step(0, ("H", 2, 3), (("L", 0, 1),))
+        assert out == ("L", 0, 3)
+
+    def test_high_lands_low_working(self):
+        stage = self._configured(delta=4)
+        n = stage.n_colors
+        a = n + 2  # lands in the working half
+        out = stage.step(0, ("H", 2, a), ())
+        assert out == ("L", 1, 2)
+
+    def test_uniform_step(self):
+        stage = self._configured()
+        color = ("H", 2, 5)
+        nbrs = (("H", 3, 5),)
+        assert stage.step(0, color, nbrs) == stage.step(11, color, nbrs)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_graphs_reach_exact_palette(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        graph = gnp_graph(n, rng.uniform(0, 0.3), seed=seed)
+        hybrid, run = ag_then_hybrid(graph)
+        assert is_proper_coloring(graph, run.int_colors)
+        assert max(run.int_colors) <= graph.max_degree
+        assert run.rounds_used <= hybrid.rounds_bound
+
+
+class TestHybridReducesToAGN:
+    """With an input palette <= 2N, every vertex starts low and the hybrid
+    must behave exactly like AG(N) — a consistency check between the two
+    implementations of the same mathematics."""
+
+    def _roundtrip(self, seed):
+        from repro.core.agn import AdditiveGroupZN
+        from tests.test_agn import two_n_coloring
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 30)
+        graph = gnp_graph(n, rng.uniform(0.1, 0.3), seed=seed)
+        coloring = two_n_coloring(graph, seed)
+        palette = 2 * (graph.max_degree + 1)
+
+        engine = ColoringEngine(graph)
+        agn_run = engine.run(AdditiveGroupZN(), coloring, in_palette_size=palette)
+        hybrid_run = engine.run(
+            ExactDeltaPlusOneHybrid(), coloring, in_palette_size=palette
+        )
+        assert hybrid_run.int_colors == agn_run.int_colors
+        assert hybrid_run.rounds_used == agn_run.rounds_used
+
+    def test_low_only_inputs_match_agn(self):
+        for seed in range(25):
+            self._roundtrip(seed)

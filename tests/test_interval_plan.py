@@ -1,0 +1,118 @@
+"""Unit tests for the Mod-Linial interval plan (repro.selfstab.plan)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selfstab.plan import IntervalPlan
+
+
+def make_plan(n_bound=100, delta_bound=5):
+    q = IntervalPlan.landing_field_for(delta_bound, 10 ** 6, 2 * delta_bound + 1)
+    # Use a generous landing field so construction always succeeds.
+    from repro.selfstab.coloring import SelfStabColoring
+
+    return SelfStabColoring(n_bound, delta_bound).plan
+
+
+class TestLayout:
+    def test_intervals_partition_the_range(self):
+        plan = make_plan()
+        assert plan.offsets[0] == 0
+        for j in range(1, plan.levels):
+            assert plan.offsets[j] == plan.offsets[j - 1] + plan.sizes[j - 1]
+        assert plan.total_size == plan.offsets[-1] + plan.sizes[-1]
+
+    def test_level_of_boundaries(self):
+        plan = make_plan()
+        for j in range(plan.levels):
+            assert plan.level_of(plan.offsets[j]) == j
+            assert plan.level_of(plan.offsets[j] + plan.sizes[j] - 1) == j
+
+    def test_level_of_invalid_values(self):
+        plan = make_plan()
+        assert plan.level_of(-1) is None
+        assert plan.level_of(plan.total_size) is None
+        assert plan.level_of("junk") is None
+        assert plan.level_of(None) is None
+        assert plan.level_of(3.5) is None
+
+    def test_id_slots_are_top_interval(self):
+        plan = make_plan(n_bound=50)
+        for vertex in (0, 25, 49):
+            color = plan.reset_color(vertex)
+            assert plan.level_of(color) == plan.levels - 1
+            level, local = plan.to_local(color)
+            assert local == vertex
+
+    def test_to_global_validates_range(self):
+        plan = make_plan()
+        with pytest.raises(ValueError):
+            plan.to_global(0, plan.sizes[0])
+        with pytest.raises(ValueError):
+            plan.to_global(1, -1)
+
+    def test_round_trip(self):
+        plan = make_plan()
+        for j in range(plan.levels):
+            for local in (0, plan.sizes[j] // 2, plan.sizes[j] - 1):
+                color = plan.to_global(j, local)
+                assert plan.to_local(color) == (j, local)
+
+
+class TestDescentChain:
+    def test_iteration_palettes_chain(self):
+        plan = make_plan(n_bound=10 ** 5, delta_bound=4)
+        for level in range(2, plan.levels):
+            iteration = plan.descent_iteration(level)
+            assert iteration.in_palette == plan.sizes[level]
+            assert iteration.out_palette == plan.sizes[level - 1]
+
+    def test_no_descent_for_core_levels(self):
+        plan = make_plan()
+        with pytest.raises(ValueError):
+            plan.descent_iteration(0)
+        with pytest.raises(ValueError):
+            plan.descent_iteration(1)
+
+    def test_levels_track_log_star(self):
+        from repro.mathutil import log_star
+
+        small = make_plan(n_bound=64, delta_bound=3)
+        large = make_plan(n_bound=10 ** 6, delta_bound=3)
+        assert large.levels <= small.levels + log_star(10 ** 6) + 3
+
+
+class TestLandingValidation:
+    def test_undersized_field_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalPlan(100, 5, core_size=10, landing_q=2, landing_points=100)
+
+    def test_insufficient_points_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalPlan(100, 5, core_size=10, landing_q=1000, landing_points=3)
+
+    def test_landing_field_for_satisfies_both(self):
+        for delta in (1, 4, 9, 20):
+            for i1 in (10, 500, 10 ** 5):
+                q = IntervalPlan.landing_field_for(delta, i1)
+                assert q ** 3 >= i1
+                assert q >= 4 * delta + 2
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=2, max_value=3000),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_color_classifies_uniquely(self, n_bound, delta_bound):
+        from repro.selfstab.coloring import SelfStabColoring
+
+        plan = SelfStabColoring(n_bound, delta_bound).plan
+        probes = {0, 1, plan.total_size - 1, plan.total_size // 2}
+        probes.update(plan.offsets)
+        for color in probes:
+            level = plan.level_of(color)
+            assert level is not None
+            assert plan.offsets[level] <= color < plan.offsets[level] + plan.sizes[level]

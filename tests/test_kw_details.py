@@ -1,0 +1,90 @@
+"""Detailed unit tests for the Kuhn–Wattenhofer reduction's internals."""
+
+import pytest
+
+from repro.baselines import KuhnWattenhoferReduction
+from repro.graphgen import complete_graph, path_graph
+from repro.runtime import ColoringEngine
+from repro.runtime.algorithm import NetworkInfo
+
+
+def configured(n, delta, palette):
+    stage = KuhnWattenhoferReduction()
+    stage.configure(NetworkInfo(n, delta, palette))
+    return stage
+
+
+class TestPaletteSchedule:
+    def test_halving_sequence(self):
+        stage = configured(1000, 3, 64)  # N = 4, blocks of 8
+        # 64 -> ceil(64/8)*4 = 32 -> 16 -> 8 -> 4
+        assert stage.palette_schedule == [64, 32, 16, 8, 4]
+
+    def test_non_power_of_two(self):
+        stage = configured(1000, 3, 50)  # N = 4
+        # 50 -> ceil(50/8)*4 = 28 -> ceil(28/8)*4 = 16 -> 8 -> 4
+        assert stage.palette_schedule == [50, 28, 16, 8, 4]
+
+    def test_already_small(self):
+        stage = configured(100, 4, 5)  # N = 5, palette already N
+        assert stage.palette_schedule == [5]
+        assert stage.rounds_bound == 0
+
+    def test_between_n_and_two_n(self):
+        stage = configured(100, 4, 8)  # N = 5, 8 <= 2N: one iteration
+        assert stage.palette_schedule == [8, 5]
+        assert stage.rounds_bound == 5
+
+    def test_rounds_is_iterations_times_n(self):
+        stage = configured(1000, 3, 64)
+        assert stage.rounds_bound == 4 * 4
+
+
+class TestStepMechanics:
+    def test_acting_vertex_moves_into_lower_half(self):
+        stage = configured(100, 2, 12)  # N = 3, blocks of 6
+        # Sub-round 0 of iteration 0: acting local = 5.
+        color = 1 * 6 + 5  # block 1, local 5
+        new = stage.step(0, color, (1 * 6 + 0, 1 * 6 + 1))
+        assert new == 1 * 6 + 2  # smallest free local in [0, 3)
+
+    def test_non_acting_vertex_keeps_color(self):
+        stage = configured(100, 2, 12)
+        color = 1 * 6 + 2
+        assert stage.step(0, color, ()) == color
+
+    def test_renumbering_at_iteration_end(self):
+        stage = configured(100, 2, 12)  # N = 3
+        color = 1 * 6 + 2  # block 1, local 2 (< N)
+        # Last sub-round of the iteration: t = N - 1 = 2.
+        assert stage.step(2, color, ()) == 1 * 3 + 2
+
+    def test_out_of_schedule_rounds_are_identity(self):
+        stage = configured(100, 2, 12)
+        rounds = stage.rounds_bound
+        assert stage.step(rounds + 5, 2, (0, 1)) == 2
+
+    def test_neighbors_outside_block_ignored(self):
+        stage = configured(100, 2, 12)
+        color = 0 * 6 + 5  # block 0 acting
+        # A block-1 neighbor occupying the numeric value 0*6+0+6 = 6 is
+        # outside block 0's range and must not be treated as taken.
+        new = stage.step(0, color, (6, 7))
+        assert new == 0  # local 0 free within block 0
+
+
+class TestEndToEndInvariants:
+    def test_every_iteration_shrinks_palette(self):
+        graph = complete_graph(8)
+        stage = KuhnWattenhoferReduction()
+        ColoringEngine(graph).run(stage, list(range(8)))
+        schedule = stage.palette_schedule
+        assert all(a > b for a, b in zip(schedule, schedule[1:]))
+
+    def test_path_two_coloring_reachable(self):
+        graph = path_graph(20)
+        stage = KuhnWattenhoferReduction()
+        result = ColoringEngine(graph, check_proper_each_round=True).run(
+            stage, list(range(20))
+        )
+        assert max(result.int_colors) <= 2

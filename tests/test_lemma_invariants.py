@@ -1,0 +1,199 @@
+"""Property tests mirroring the paper's lemma-level invariants on real runs.
+
+Each test simulates an algorithm with full history recording and checks the
+quantity the corresponding lemma bounds — not just the end result:
+
+* Lemma 3.3/3.4 (AG): within the first ``q`` rounds, every (vertex, neighbor)
+  pair conflicts at most twice;
+* 3AG convergence: every vertex reaches ``c = 0`` within ``3*Delta + 2``
+  rounds and finalizes within ``2p``;
+* hybrid invariants: low working values are pairwise distinct among
+  neighbors at all times, and a high vertex never lands while a low-working
+  neighbor exists;
+* ArbAG / Lemma 6.2: every finalized vertex's strictly-earlier-frozen
+  same-class different-original neighbors number at most ``p`` plus the
+  input defect.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ag import AdditiveGroupColoring
+from repro.core.ag3 import ThreeDimensionalAG
+from repro.core.arbdefective import ArbAGColoring
+from repro.core.hybrid import ExactDeltaPlusOneHybrid
+from repro.defective import DefectiveLinialColoring
+from repro.graphgen import gnp_graph, random_regular
+from repro.runtime import ColoringEngine
+from tests.conftest import id_coloring
+
+
+class TestAGConflictWindows:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_at_most_two_conflicts_per_pair(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 30)
+        graph = gnp_graph(n, rng.uniform(0.1, 0.35), seed=seed)
+        engine = ColoringEngine(graph, record_history=True)
+        stage = AdditiveGroupColoring()
+        result = engine.run(stage, id_coloring(graph))
+        history = result.history
+        window = history[: stage.q + 1]
+        for u, v in graph.edges:
+            conflicts = sum(
+                1 for colors in window if colors[u][1] == colors[v][1]
+            )
+            assert conflicts <= 2, (u, v, seed)
+
+
+class Test3AGPhases:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_c_phase_bound(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 28)
+        graph = gnp_graph(n, rng.uniform(0.1, 0.3), seed=seed)
+        delta = graph.max_degree
+        engine = ColoringEngine(graph, record_history=True)
+        stage = ThreeDimensionalAG()
+        result = engine.run(stage, id_coloring(graph))
+        history = result.history
+        # Every vertex's c coordinate hits 0 within 3*Delta + 2 rounds and
+        # never leaves 0 afterwards.
+        for v in graph.vertices():
+            first_zero = next(
+                (i for i, colors in enumerate(history) if colors[v][0] == 0),
+                None,
+            )
+            assert first_zero is not None
+            assert first_zero <= 3 * delta + 2
+            assert all(colors[v][0] == 0 for colors in history[first_zero:])
+
+
+class TestHybridInvariants:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_low_working_distinct_and_landing_gated(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 28)
+        graph = gnp_graph(n, rng.uniform(0.1, 0.3), seed=seed)
+        engine = ColoringEngine(graph, record_history=True)
+        ag = AdditiveGroupColoring()
+        ag_run = engine.run(ag, id_coloring(graph))
+        hybrid = ExactDeltaPlusOneHybrid()
+        run = engine.run(
+            hybrid, ag_run.int_colors, in_palette_size=ag.out_palette_size
+        )
+        history = run.history
+        for t, colors in enumerate(history):
+            # (1) adjacent low-working values never collide
+            for u, v in graph.edges:
+                cu, cv = colors[u], colors[v]
+                if cu[0] == "L" and cv[0] == "L" and cu[1] == 1 and cv[1] == 1:
+                    assert cu[2] != cv[2], (t, u, v)
+            # (2) a vertex that just left H had no low-working neighbor then
+            if t == 0:
+                continue
+            previous = history[t - 1]
+            for v in graph.vertices():
+                if previous[v][0] == "H" and colors[v][0] == "L":
+                    assert not any(
+                        previous[u][0] == "L" and previous[u][1] == 1
+                        for u in graph.neighbors(v)
+                    ), (t, v)
+
+
+class TestArbAGOrientationInvariant:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_earlier_frozen_same_class_neighbors_bounded(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 30)
+        graph = gnp_graph(n, rng.uniform(0.1, 0.35), seed=seed)
+        tolerance = rng.randint(1, 4)
+        engine = ColoringEngine(graph)
+        defective = DefectiveLinialColoring(tolerance)
+        dres = engine.run(defective, id_coloring(graph))
+        arb = ArbAGColoring(tolerance)
+        ares = engine.run(
+            arb, dres.int_colors, in_palette_size=defective.out_palette_size
+        )
+        for v in graph.vertices():
+            _, b_v, orig_v, fr_v = ares.colors[v]
+            earlier_diff_orig = sum(
+                1
+                for u in graph.neighbors(v)
+                if ares.colors[u][1] == b_v
+                and ares.colors[u][2] != orig_v
+                and (ares.colors[u][3], u) < (fr_v, v)
+            )
+            # Lemma 6.2's counting: the frozen-earlier different-original
+            # same-class neighbors were tolerated conflicts at v's freeze.
+            assert earlier_diff_orig <= tolerance
+
+
+class TestFinalizedStatesAreFixedPoints:
+    def test_all_uniform_stages_hold_final_states(self):
+        """The self-stabilization prerequisite across the AG family."""
+        from repro.runtime.algorithm import NetworkInfo
+
+        ag = AdditiveGroupColoring()
+        ag.configure(NetworkInfo(100, 4, 81))
+        assert ag.step(0, (0, 3), ((2, 3), (0, 1))) == (0, 3)
+
+        ag3 = ThreeDimensionalAG()
+        ag3.configure(NetworkInfo(100, 4, 1000))
+        assert ag3.step(0, (0, 0, 3), ((0, 1, 3),)) == (0, 0, 3)
+
+        hybrid = ExactDeltaPlusOneHybrid()
+        hybrid.configure(NetworkInfo(100, 4, 10))
+        assert hybrid.step(0, ("L", 0, 3), (("L", 1, 3),)) == ("L", 0, 3)
+
+
+class TestDefectAccumulation:
+    """The defective stage's per-step pigeonhole budget, checked per round."""
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=12, deadline=None)
+    def test_defect_grows_within_per_step_budget(self, seed):
+        from repro.analysis import coloring_defect
+
+        rng = random.Random(seed)
+        n = rng.randint(8, 36)
+        graph = gnp_graph(n, rng.uniform(0.1, 0.35), seed=seed)
+        tolerance = rng.randint(1, 4)
+        engine = ColoringEngine(graph, record_history=True)
+        stage = DefectiveLinialColoring(tolerance)
+        run = engine.run(stage, id_coloring(graph))
+        n_proper = len(stage.proper_plan)
+        budget_so_far = 0
+        for index, colors in enumerate(run.history):
+            defect = coloring_defect(graph, colors)
+            if index <= n_proper:
+                assert defect == 0, "proper phase produced defect"
+            else:
+                q = stage.tolerant_qs[index - n_proper - 1]
+                budget_so_far += (2 * graph.max_degree) // q
+                assert defect <= budget_so_far
+
+
+class TestArbAGWindowRequirement:
+    """ArbAG's round bound needs 2*ceil(Delta/p)+1 <= q — asserted on the
+    actual configured stages across the parameter space."""
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_fits_in_modulus(self, delta, tolerance):
+        from repro.runtime.algorithm import NetworkInfo
+
+        stage = ArbAGColoring(tolerance)
+        r = -(-delta // tolerance)
+        palette = max((2 * r + 2) ** 2, 4)
+        stage.configure(NetworkInfo(10 ** 4, delta, palette))
+        assert stage.rounds_bound <= stage.q

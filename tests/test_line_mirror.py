@@ -1,0 +1,99 @@
+"""Unit tests for the line-graph mirror (repro.selfstab.line)."""
+
+import pytest
+
+from repro.runtime.graph import DynamicGraph
+from repro.selfstab import SelfStabEngine, SelfStabMaximalMatching
+from repro.selfstab.line import LineGraphMirror
+from repro.selfstab.mis import SelfStabMIS
+
+
+def triangle_base():
+    g = DynamicGraph(5, 3)
+    for v in range(3):
+        g.add_vertex(v)
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(0, 2)
+    return g
+
+
+class TestSlots:
+    def test_slot_is_order_independent(self):
+        base = triangle_base()
+        mirror = LineGraphMirror(base)
+        assert mirror.slot(0, 1) == mirror.slot(1, 0)
+
+    def test_slot_edge_roundtrip(self):
+        base = triangle_base()
+        mirror = LineGraphMirror(base)
+        for u, v in base.edges():
+            assert mirror.edge_of(mirror.slot(u, v)) == (u, v)
+
+    def test_slots_are_unique(self):
+        base = triangle_base()
+        mirror = LineGraphMirror(base)
+        slots = [mirror.slot(u, v) for u, v in base.edges()]
+        assert len(slots) == len(set(slots))
+
+
+class TestDesiredState:
+    def test_triangle_line_graph_is_triangle(self):
+        base = triangle_base()
+        mirror = LineGraphMirror(base)
+        vertices, edges = mirror.desired_state()
+        assert len(vertices) == 3
+        assert len(edges) == 3  # K3's line graph is K3
+
+    def test_path_line_graph_is_path(self):
+        base = DynamicGraph(4, 2)
+        for v in range(4):
+            base.add_vertex(v)
+        base.add_edge(0, 1)
+        base.add_edge(1, 2)
+        base.add_edge(2, 3)
+        mirror = LineGraphMirror(base)
+        vertices, edges = mirror.desired_state()
+        assert len(vertices) == 3
+        assert len(edges) == 2
+
+    def test_degree_bound_of_mirror(self):
+        base = DynamicGraph(10, 4)
+        mirror = LineGraphMirror(base)
+        assert mirror.delta_bound == 2 * (4 - 1)
+
+
+class TestSync:
+    def test_sync_adds_and_removes(self):
+        base = triangle_base()
+        algorithm = SelfStabMIS(LineGraphMirror(base).n_bound, 4)
+        mirror = LineGraphMirror(base)
+        engine = SelfStabEngine(mirror.line, algorithm)
+        affected = mirror.sync(engine)
+        assert len(affected) == 3  # three virtual vertices appeared
+        assert mirror.line.n == 3
+
+        base.remove_edge(0, 1)
+        affected = mirror.sync(engine)
+        assert mirror.slot(0, 1) in affected
+        assert mirror.line.n == 2
+        # The crashed virtual vertex's RAM is gone.
+        assert mirror.slot(0, 1) not in engine.rams
+
+    def test_sync_is_idempotent(self):
+        base = triangle_base()
+        mm = SelfStabMaximalMatching(base)
+        before = dict(mm.engine.rams)
+        assert mm.sync_topology() == set() or mm.sync_topology() == set()
+        assert mm.engine.rams == before
+
+    def test_vertex_crash_cascades_to_mirror(self):
+        base = triangle_base()
+        mm = SelfStabMaximalMatching(base)
+        mm.run_to_quiescence()
+        base.remove_vertex(0)  # kills edges (0,1) and (0,2)
+        mm.sync_topology()
+        assert mm.mirror.line.n == 1
+        mm.run_to_quiescence()
+        assert mm.is_legal()
+        assert mm.matching() == [(1, 2)]

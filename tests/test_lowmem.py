@@ -1,0 +1,156 @@
+"""Tests for the O(1)-words-per-vertex execution (end of Section 3)."""
+
+import pytest
+
+from repro.analysis import is_proper_coloring
+from repro.graphgen import complete_graph, cycle_graph, gnp_graph, random_regular
+from repro.lowmem import (
+    Workspace,
+    WorkspaceOverflowError,
+    ag_step_low_memory,
+    delta_plus_one_coloring_low_memory,
+    linial_step_low_memory,
+    standard_reduction_step_low_memory,
+)
+from repro.lowmem.workspace import bits_for_range
+
+
+class TestWorkspace:
+    def test_peak_tracking(self):
+        ws = Workspace()
+        ws.put("a", 1, 8)
+        ws.put("b", 2, 8)
+        assert ws.live_bits == 16
+        ws.free("a")
+        ws.put("c", 3, 4)
+        assert ws.live_bits == 12
+        assert ws.peak_bits == 16
+
+    def test_overwrite_replaces_accounting(self):
+        ws = Workspace()
+        ws.put("a", 1, 8)
+        ws.put("a", 2, 16)
+        assert ws.live_bits == 16
+
+    def test_budget_enforced(self):
+        ws = Workspace(bit_limit=10)
+        ws.put("a", 1, 8)
+        with pytest.raises(WorkspaceOverflowError):
+            ws.put("b", 2, 8)
+
+    def test_free_all(self):
+        ws = Workspace()
+        ws.put("a", 1, 8)
+        ws.free_all()
+        assert ws.live_bits == 0
+        assert "a" not in ws
+
+    def test_peak_words(self):
+        ws = Workspace()
+        ws.put("a", 1, 33)
+        assert ws.peak_words(16) == 3
+
+    def test_bits_for_range(self):
+        assert bits_for_range(2) == 1
+        assert bits_for_range(256) == 8
+        assert bits_for_range(257) == 9
+
+
+class TestStreamingSteps:
+    def test_ag_step_matches_engine_semantics(self):
+        q = 11
+        ws = Workspace()
+        conflict = ag_step_low_memory((2, 3), lambda: iter([(5, 3)]), q, ws)
+        assert conflict == (2, 5)
+        final = ag_step_low_memory((2, 3), lambda: iter([(5, 4)]), q, ws)
+        assert final == (0, 3)
+
+    def test_ag_step_memory_independent_of_degree(self):
+        q = 101
+        peaks = []
+        for degree in (2, 50, 100):
+            ws = Workspace()
+            neighbors = [(i % q, (7 * i) % q) for i in range(1, degree + 1)]
+            ag_step_low_memory((3, 5), lambda: iter(neighbors), q, ws)
+            peaks.append(ws.peak_bits)
+        assert peaks[0] == peaks[1] == peaks[2]
+
+    def test_linial_step_matches_reference(self):
+        from repro.linial.core import linial_next_color
+
+        q, d = 13, 1
+        neighbors = [7, 9, 3]
+        ws = Workspace()
+        streamed = linial_step_low_memory(5, lambda: iter(neighbors), q, d, ws)
+        reference = linial_next_color(5, neighbors, q, d)
+        assert streamed == reference
+
+    def test_linial_step_memory_independent_of_degree(self):
+        q, d = 211, 1
+        peaks = []
+        for degree in (3, 60, 150):
+            ws = Workspace()
+            neighbors = list(range(1, degree + 1))
+            linial_step_low_memory(0, lambda: iter(neighbors), q, d, ws)
+            peaks.append(ws.peak_bits)
+        assert peaks[0] == peaks[1] == peaks[2]
+
+    def test_standard_reduction_step(self):
+        ws = Workspace()
+        # Acting vertex with colors 0 and 1 taken picks 2.
+        new = standard_reduction_step_low_memory(
+            9, lambda: iter([0, 1, 5]), acting_color=9, target=4, workspace=ws
+        )
+        assert new == 2
+
+    def test_standard_reduction_non_acting_keeps_color(self):
+        ws = Workspace()
+        assert (
+            standard_reduction_step_low_memory(
+                3, lambda: iter([0]), acting_color=9, target=4, workspace=ws
+            )
+            == 3
+        )
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            cycle_graph(40),
+            complete_graph(8),
+            gnp_graph(48, 0.12, seed=1),
+            random_regular(40, 6, seed=2),
+        ],
+        ids=["cycle", "clique", "gnp", "regular"],
+    )
+    def test_correct_coloring(self, graph):
+        report = delta_plus_one_coloring_low_memory(graph)
+        assert is_proper_coloring(graph, report.colors)
+        assert max(report.colors) <= graph.max_degree
+
+    def test_peak_words_constant_across_sizes(self):
+        """The paper's claim: O(1) words of Theta(log n) bits each."""
+        words = []
+        for n, d, seed in [(24, 4, 1), (96, 8, 2), (192, 12, 3)]:
+            graph = random_regular(n, d, seed=seed)
+            report = delta_plus_one_coloring_low_memory(graph)
+            words.append(report.peak_words)
+        assert max(words) <= 12  # a fixed handful of registers
+        assert max(words) - min(words) <= 4
+
+    def test_budget_enforcement_is_live(self):
+        graph = random_regular(40, 6, seed=4)
+        with pytest.raises(WorkspaceOverflowError):
+            delta_plus_one_coloring_low_memory(graph, bit_limit=3)
+
+    def test_generous_budget_passes(self):
+        graph = random_regular(40, 6, seed=5)
+        report = delta_plus_one_coloring_low_memory(
+            graph, bit_limit=20 * report_word_bits(graph)
+        )
+        assert is_proper_coloring(graph, report.colors)
+
+
+def report_word_bits(graph):
+    return bits_for_range(max(2, graph.n))

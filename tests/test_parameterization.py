@@ -1,0 +1,119 @@
+"""Parameter relationships across the whole Delta spectrum.
+
+Every stage derives field sizes and round bounds from ``(n, Delta, palette)``;
+these properties pin the derivations for all Delta up to 200 — the regime
+where off-by-one constants (prime floors, capacity margins) would hide.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ag import AdditiveGroupColoring, ag_prime_for
+from repro.core.ag3 import ThreeDimensionalAG, ag3_prime_for
+from repro.core.agn import AdditiveGroupZN
+from repro.core.arbdefective import ArbAGColoring
+from repro.core.hybrid import ExactDeltaPlusOneHybrid, largest_prime_at_most
+from repro.mathutil.primes import is_prime
+from repro.runtime.algorithm import NetworkInfo
+from repro.selfstab.coloring import SelfStabColoring
+from repro.selfstab.exact import SelfStabExactColoring
+
+
+class TestStageParameters:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=80, deadline=None)
+    def test_ag_modulus_relations(self, delta):
+        k = max(2, (2 * delta + 1) ** 2)
+        q = ag_prime_for(k, delta)
+        assert is_prime(q)
+        assert q * q >= k
+        assert q >= 2 * delta + 1
+        assert q <= 2 * (2 * delta + 1) + 20  # Bertrand-ish upper bound
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=60, deadline=None)
+    def test_3ag_modulus_relations(self, delta):
+        k = max(2, (3 * delta + 1) ** 3)
+        p = ag3_prime_for(k, delta)
+        assert is_prime(p)
+        assert p ** 3 >= k
+        assert p >= 3 * delta + 1
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=80, deadline=None)
+    def test_hybrid_capacity_and_prime(self, delta):
+        stage = ExactDeltaPlusOneHybrid()
+        stage.configure(NetworkInfo(10 ** 4, delta, 2 * (delta + 1)))
+        n = delta + 1
+        assert stage.n_colors == n
+        if delta > 0:
+            assert stage.p > n  # Bertrand: a prime in (N, 2N]
+            assert stage.p <= 2 * n
+        assert stage.rounds_bound >= n
+        # Capacity covers at least the (1+eps)Delta inputs the paper feeds it.
+        assert 2 * n + stage.p * (stage.p - 1) >= 2 * n
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_arbag_window_and_palette(self, delta, tolerance):
+        stage = ArbAGColoring(tolerance)
+        r = -(-delta // tolerance)
+        stage.configure(NetworkInfo(10 ** 4, delta, max(2, (2 * r + 2) ** 2)))
+        assert stage.rounds_bound == 2 * r + 1
+        assert stage.q >= stage.rounds_bound + 1  # the q-window covers the run
+        assert stage.q <= 4 * r + 40  # O(Delta / p)
+
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=40, deadline=None)
+    def test_agn_modulus_is_exactly_n(self, delta):
+        stage = AdditiveGroupZN()
+        stage.configure(NetworkInfo(10 ** 3, delta, 2 * (delta + 1)))
+        assert stage.modulus == delta + 1
+        assert stage.out_palette_size == delta + 1
+        assert stage.rounds_bound == delta + 1
+
+
+class TestSelfStabParameters:
+    @given(
+        st.integers(min_value=2, max_value=500),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_plain_plan_consistency(self, n_bound, delta):
+        algorithm = SelfStabColoring(n_bound, delta)
+        plan = algorithm.plan
+        assert plan.core_size == algorithm.q ** 2
+        assert algorithm.q >= 4 * delta + 1  # landing needs 4*Delta+1 points
+        assert algorithm.q >= 2 * delta + 1  # the AG window
+        assert plan.total_size >= n_bound  # the ID interval fits everyone
+        # The reset color of every vertex is valid and at the top level.
+        for vertex in (0, n_bound - 1):
+            assert plan.level_of(plan.reset_color(vertex)) == plan.levels - 1
+
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_plan_consistency(self, n_bound, delta):
+        algorithm = SelfStabExactColoring(n_bound, delta)
+        assert algorithm.n_colors == delta + 1
+        assert algorithm.p >= 4 * delta + 3
+        assert is_prime(algorithm.p)
+        assert algorithm.plan.core_size == 2 * (delta + 1) + (
+            algorithm.p - 1
+        ) * algorithm.p
+        assert algorithm.plan.landing_points == algorithm.p - 1
+
+
+class TestPrimeHelpers:
+    @given(st.integers(min_value=2, max_value=5000))
+    @settings(max_examples=80, deadline=None)
+    def test_largest_prime_at_most_is_maximal(self, n):
+        p = largest_prime_at_most(n)
+        assert is_prime(p)
+        assert p <= n
+        assert not any(is_prime(x) for x in range(p + 1, n + 1))

@@ -1,0 +1,109 @@
+"""Tests for the randomized baselines and the determinism demonstration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_maximal_independent_set, is_proper_coloring
+from repro.baselines import (
+    RandomTrialSelfStabColoring,
+    luby_mis,
+    random_trial_coloring,
+)
+from repro.graphgen import complete_graph, cycle_graph, gnp_graph, random_regular
+from repro.selfstab import SelfStabEngine, SelfStabExactColoring
+from tests.test_selfstab_coloring import build_dynamic, dynamic_path
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(25), complete_graph(9), gnp_graph(50, 0.15, seed=1)],
+        ids=["cycle", "clique", "gnp"],
+    )
+    def test_valid_mis(self, graph):
+        members, rounds = luby_mis(graph, seed=2)
+        assert is_maximal_independent_set(graph, members)
+
+    def test_logarithmic_rounds(self):
+        graph = gnp_graph(200, 0.05, seed=3)
+        _, rounds = luby_mis(graph, seed=4)
+        assert rounds <= 4 * max(1, graph.n).bit_length()
+
+    def test_deterministic_under_seed(self):
+        graph = gnp_graph(40, 0.2, seed=5)
+        assert luby_mis(graph, seed=6) == luby_mis(graph, seed=6)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = gnp_graph(rng.randint(1, 40), rng.uniform(0, 0.3), seed=seed)
+        members, _ = luby_mis(graph, seed=seed)
+        assert is_maximal_independent_set(graph, members)
+
+
+class TestRandomTrialColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(25), complete_graph(8), random_regular(40, 6, seed=7)],
+        ids=["cycle", "clique", "regular"],
+    )
+    def test_proper_delta_plus_one(self, graph):
+        colors, rounds = random_trial_coloring(graph, seed=8)
+        assert is_proper_coloring(graph, colors)
+        assert max(colors) <= graph.max_degree
+
+    def test_non_convergence_raises(self):
+        graph = complete_graph(6)
+        with pytest.raises(RuntimeError):
+            random_trial_coloring(graph, seed=9, max_rounds=0 or 1, palette=6)
+
+
+class TestDeterminismMatters:
+    """Section 1.2.1: 'this prevents the possibility that adversarial faults
+    will manipulate random bits of the algorithm' — executable."""
+
+    @staticmethod
+    def _k2():
+        from repro.runtime.graph import DynamicGraph
+
+        g = DynamicGraph(2, 1)
+        g.add_vertex(0)
+        g.add_vertex(1)
+        g.add_edge(0, 1)
+        return g
+
+    def test_cloned_rng_state_deadlocks_randomized_coloring(self):
+        g = self._k2()
+        algorithm = RandomTrialSelfStabColoring(2, 1)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence(max_rounds=200)
+        # One fault: clone vertex 1's whole RAM (color + RNG state) onto 0.
+        engine.corrupt(0, engine.rams[1])
+        # No further faults — yet the pair flips identical coins forever.
+        for _ in range(300):
+            engine.step()
+            assert engine.rams[0] == engine.rams[1]  # perfect symmetry
+        assert not engine.is_legal()
+
+    def test_same_fault_is_harmless_to_the_paper_algorithm(self):
+        g = self._k2()
+        algorithm = SelfStabExactColoring(2, 1)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        engine.corrupt(0, engine.rams[1])
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    def test_randomized_variant_does_converge_without_symmetry(self):
+        """Fairness check: from asymmetric states the randomized algorithm
+        stabilizes fine — the vulnerability is specifically the clone."""
+        g = build_dynamic(20, 4, 0.2, seed=10)
+        algorithm = RandomTrialSelfStabColoring(20, 4)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence(max_rounds=400)
+        assert engine.is_legal()

@@ -1,0 +1,145 @@
+"""Tests for the standard color reduction and the Kuhn–Wattenhofer baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_proper_coloring
+from repro.baselines import KuhnWattenhoferReduction, greedy_coloring
+from repro.core.reductions import StandardColorReduction
+from repro.graphgen import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_regular,
+)
+from repro.runtime import ColoringEngine, Visibility
+from tests.conftest import assert_proper, id_coloring
+
+
+class TestStandardReduction:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(12), cycle_graph(13), complete_graph(7), gnp_graph(40, 0.1, seed=1)],
+        ids=["path", "cycle", "clique", "gnp"],
+    )
+    def test_reaches_delta_plus_one(self, graph):
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = StandardColorReduction()
+        result = engine.run(stage, id_coloring(graph))
+        assert_proper(graph, result.int_colors)
+        assert max(result.int_colors) <= graph.max_degree
+        assert result.rounds_used <= graph.n - graph.max_degree - 1 + 1
+
+    def test_rounds_bound_is_m_minus_target(self):
+        graph = path_graph(10)
+        stage = StandardColorReduction()
+        ColoringEngine(graph).run(stage, id_coloring(graph))
+        assert stage.rounds_bound == 10 - 3
+
+    def test_custom_target(self):
+        graph = path_graph(10)
+        stage = StandardColorReduction(target_palette=5)
+        result = ColoringEngine(graph).run(stage, id_coloring(graph))
+        assert max(result.int_colors) < 5
+        assert is_proper_coloring(graph, result.int_colors)
+
+    def test_target_below_delta_plus_one_rejected(self):
+        graph = complete_graph(5)
+        stage = StandardColorReduction(target_palette=3)
+        with pytest.raises(ValueError):
+            ColoringEngine(graph).run(stage, id_coloring(graph))
+
+    def test_noop_when_already_small(self):
+        graph = complete_graph(5)  # Delta + 1 = 5 = n
+        stage = StandardColorReduction()
+        result = ColoringEngine(graph).run(stage, id_coloring(graph))
+        assert result.rounds_used == 0
+        assert result.int_colors == id_coloring(graph)
+
+    def test_works_in_set_local(self):
+        graph = gnp_graph(30, 0.15, seed=2)
+        a = ColoringEngine(graph, visibility=Visibility.LOCAL).run(
+            StandardColorReduction(), id_coloring(graph)
+        )
+        b = ColoringEngine(graph, visibility=Visibility.SET_LOCAL).run(
+            StandardColorReduction(), id_coloring(graph)
+        )
+        assert a.int_colors == b.int_colors
+
+
+class TestKuhnWattenhofer:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(30),
+            cycle_graph(31),
+            complete_graph(8),
+            gnp_graph(50, 0.12, seed=3),
+            random_regular(40, 6, seed=4),
+        ],
+        ids=["path", "cycle", "clique", "gnp", "regular"],
+    )
+    def test_reaches_delta_plus_one(self, graph):
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        stage = KuhnWattenhoferReduction()
+        result = engine.run(stage, id_coloring(graph))
+        assert_proper(graph, result.int_colors, "KW output")
+        assert max(result.int_colors) <= graph.max_degree
+
+    def test_round_complexity_is_delta_log_ratio(self):
+        graph = random_regular(64, 4, seed=5)
+        n_colors = graph.max_degree + 1
+        stage = KuhnWattenhoferReduction()
+        ColoringEngine(graph).run(stage, id_coloring(graph))
+        iterations = len(stage.palette_schedule) - 1
+        # Each iteration halves (roughly): expect Theta(log(m / N)) iterations.
+        import math
+
+        expected = math.ceil(math.log2(graph.n / n_colors)) + 2
+        assert iterations <= expected
+        assert stage.rounds_bound == iterations * n_colors
+
+    def test_palette_schedule_monotone(self):
+        graph = gnp_graph(60, 0.1, seed=6)
+        stage = KuhnWattenhoferReduction()
+        ColoringEngine(graph).run(stage, id_coloring(graph))
+        schedule = stage.palette_schedule
+        assert all(a > b for a, b in zip(schedule, schedule[1:]))
+        assert schedule[-1] == graph.max_degree + 1
+
+    def test_works_in_set_local(self):
+        graph = gnp_graph(35, 0.15, seed=7)
+        a = ColoringEngine(graph, visibility=Visibility.LOCAL).run(
+            KuhnWattenhoferReduction(), id_coloring(graph)
+        )
+        b = ColoringEngine(graph, visibility=Visibility.SET_LOCAL).run(
+            KuhnWattenhoferReduction(), id_coloring(graph)
+        )
+        assert a.int_colors == b.int_colors
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        graph = gnp_graph(n, rng.uniform(0, 0.3), seed=seed)
+        engine = ColoringEngine(graph, check_proper_each_round=True)
+        result = engine.run(KuhnWattenhoferReduction(), id_coloring(graph))
+        assert is_proper_coloring(graph, result.int_colors)
+        assert max(result.int_colors) <= graph.max_degree
+
+
+class TestGreedyOracle:
+    def test_greedy_within_delta_plus_one(self, any_graph):
+        colors = greedy_coloring(any_graph)
+        assert is_proper_coloring(any_graph, colors)
+        assert max(colors, default=0) <= any_graph.max_degree
+
+    def test_greedy_respects_order(self):
+        graph = path_graph(3)
+        assert greedy_coloring(graph, order=[0, 1, 2]) == [0, 1, 0]
+        assert greedy_coloring(graph, order=[1, 0, 2]) == [1, 0, 1]

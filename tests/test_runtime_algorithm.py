@@ -1,0 +1,75 @@
+"""Tests for the LocallyIterativeColoring base-class contract."""
+
+import math
+
+import pytest
+
+from repro.runtime.algorithm import LocallyIterativeColoring, NetworkInfo
+
+
+class MinimalStage(LocallyIterativeColoring):
+    name = "minimal"
+
+    @property
+    def out_palette_size(self):
+        self._require_configured()
+        return self.info.in_palette_size
+
+    @property
+    def rounds_bound(self):
+        return 1
+
+    def step(self, round_index, color, neighbor_colors):
+        return color
+
+
+class TestDefaults:
+    def test_encode_decode_default_identity(self):
+        stage = MinimalStage()
+        stage.configure(NetworkInfo(10, 3, 7))
+        assert stage.encode_initial(5) == 5
+        assert stage.decode_final(5) == 5
+
+    def test_is_final_default_false(self):
+        stage = MinimalStage()
+        assert stage.is_final(0) is False
+
+    def test_message_bits_default_log_palette(self):
+        stage = MinimalStage()
+        stage.configure(NetworkInfo(10, 3, 100))
+        assert stage.message_bits(0) == math.ceil(math.log2(100))
+
+    def test_message_bits_floor_of_one(self):
+        stage = MinimalStage()
+        stage.configure(NetworkInfo(10, 3, 1))
+        assert stage.message_bits(0) == 1
+
+    def test_require_configured_raises(self):
+        stage = MinimalStage()
+        with pytest.raises(RuntimeError):
+            stage.out_palette_size
+
+    def test_repr_reports_configuration_state(self):
+        stage = MinimalStage()
+        assert "configured=False" in repr(stage)
+        stage.configure(NetworkInfo(4, 2, 3))
+        assert "configured=True" in repr(stage)
+
+    def test_class_flags_defaults(self):
+        stage = MinimalStage()
+        assert stage.maintains_proper is True
+        assert stage.uniform_step is False
+
+
+class TestNetworkInfoValidation:
+    @pytest.mark.parametrize(
+        "args", [(-1, 1, 1), (1, -1, 1), (1, 1, 0)]
+    )
+    def test_invalid(self, args):
+        with pytest.raises(ValueError):
+            NetworkInfo(*args)
+
+    def test_repr(self):
+        info = NetworkInfo(10, 3, 7)
+        assert "n=10" in repr(info)
+        assert "max_degree=3" in repr(info)

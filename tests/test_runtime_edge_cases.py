@@ -1,0 +1,109 @@
+"""Edge-case coverage for the runtime engine, pipeline and metrics."""
+
+import pytest
+
+from repro.core import AdditiveGroupColoring, StandardColorReduction
+from repro.graphgen import cycle_graph, path_graph, star_graph
+from repro.linial import LinialColoring
+from repro.runtime import ColoringEngine, ColoringPipeline, Visibility
+from repro.runtime.graph import StaticGraph
+from repro.runtime.metrics import MetricsLog, RoundMetrics
+
+
+class TestEngineEdgeCases:
+    def test_empty_graph_run(self):
+        graph = StaticGraph(0, [])
+        result = ColoringEngine(graph).run(
+            AdditiveGroupColoring(), [], in_palette_size=1
+        )
+        assert result.int_colors == []
+        assert result.rounds_used == 0
+
+    def test_max_rounds_beyond_bound_is_harmless(self):
+        graph = cycle_graph(8)
+        stage = AdditiveGroupColoring()
+        result = ColoringEngine(graph).run(
+            stage, list(range(8)), max_rounds=10 ** 4
+        )
+        # Early finality stops the run long before the cap.
+        assert result.rounds_used <= stage.q
+
+    def test_zero_max_rounds_returns_initial(self):
+        graph = path_graph(4)
+        stage = AdditiveGroupColoring()
+        with pytest.raises(ValueError):
+            # Non-final initial colors cannot decode.
+            ColoringEngine(graph).run(stage, [5, 6, 7, 8], max_rounds=0)
+
+    def test_configure_false_reuses_existing_configuration(self):
+        from repro.runtime.algorithm import NetworkInfo
+
+        graph = path_graph(4)
+        stage = AdditiveGroupColoring()
+        stage.configure(NetworkInfo(4, 2, 36))
+        q_before = stage.q
+        ColoringEngine(graph).run(
+            stage, [0, 1, 2, 3], in_palette_size=4, configure=False
+        )
+        assert stage.q == q_before
+
+    def test_isolated_vertices_have_empty_views(self):
+        graph = StaticGraph(3, [(0, 1)])
+        result = ColoringEngine(graph, visibility=Visibility.SET_LOCAL).run(
+            AdditiveGroupColoring(), [0, 1, 2]
+        )
+        assert len(result.int_colors) == 3
+
+
+class TestPipelineEdgeCases:
+    def test_record_history_propagates(self):
+        graph = cycle_graph(6)
+        pipeline = ColoringPipeline([AdditiveGroupColoring(), StandardColorReduction()])
+        result = pipeline.run(graph, list(range(6)), record_history=True)
+        for _, run in result.stage_results:
+            assert run.history is not None
+            assert len(run.history) == run.rounds_used + 1
+
+    def test_explicit_palette_override(self):
+        graph = path_graph(4)
+        pipeline = ColoringPipeline([AdditiveGroupColoring()])
+        result = pipeline.run(graph, [0, 2, 4, 6], in_palette_size=49)
+        stage = result.stage_results[0][0]
+        assert stage.info.in_palette_size == 49
+
+    def test_three_stage_chain_round_total(self):
+        graph = cycle_graph(32)
+        pipeline = ColoringPipeline(
+            [LinialColoring(), AdditiveGroupColoring(), StandardColorReduction()]
+        )
+        result = pipeline.run(graph, list(range(32)))
+        assert result.total_rounds == sum(result.rounds_by_stage().values())
+        assert max(result.colors) <= 2
+
+
+class TestMetricsEdgeCases:
+    def test_bits_per_edge_zero_edges(self):
+        log = MetricsLog()
+        assert log.bits_per_edge(0) == 0.0
+
+    def test_max_bits_in_round_per_message_empty(self):
+        log = MetricsLog()
+        assert log.max_bits_in_round_per_message() == 0
+
+    def test_round_metrics_repr(self):
+        metrics = RoundMetrics(3, 10, 20, 4)
+        text = repr(metrics)
+        assert "round=3" in text and "bits=20" in text
+
+    def test_metrics_log_repr(self):
+        log = MetricsLog()
+        log.record(RoundMetrics(0, 4, 8, 2))
+        assert "rounds=1" in repr(log)
+
+    def test_star_message_counts(self):
+        graph = star_graph(5)  # m = 4
+        result = ColoringEngine(graph).run(
+            AdditiveGroupColoring(), list(range(5))
+        )
+        for entry in result.metrics.rounds:
+            assert entry.messages == 2 * graph.m

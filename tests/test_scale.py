@@ -1,0 +1,70 @@
+"""Moderate-scale smoke tests: the library at thousands of vertices.
+
+Not micro-benchmarks (those live in benchmarks/) — these pin down that
+nothing in the implementation is accidentally quadratic in n for sparse
+graphs, and that the claimed round bounds hold at scale.
+"""
+
+import time
+
+from repro import delta_plus_one_coloring, delta_plus_one_exact_no_reduction
+from repro.analysis import is_proper_coloring
+from repro.graphgen import cycle_graph, random_regular
+from repro.mathutil import log_star
+
+
+class TestScale:
+    def test_cycle_with_sixteen_thousand_vertices(self):
+        graph = cycle_graph(16384)
+        start = time.time()
+        result = delta_plus_one_coloring(graph)
+        elapsed = time.time() - start
+        assert is_proper_coloring(graph, result.colors)
+        assert max(result.colors) <= 2
+        assert result.total_rounds <= 2 * 8 + log_star(16384) + 8
+        assert elapsed < 30  # linear-ish work per round
+
+    def test_regular_thousand_vertices(self):
+        graph = random_regular(1000, 8, seed=1)
+        result = delta_plus_one_exact_no_reduction(graph)
+        assert is_proper_coloring(graph, result.colors)
+        assert max(result.colors) <= 8
+        assert result.total_rounds <= 14 * 8 + log_star(1000) + 16
+
+    def test_rounds_flat_across_scale(self):
+        rounds = []
+        for n in (256, 1024, 4096):
+            graph = cycle_graph(n)
+            rounds.append(delta_plus_one_coloring(graph).total_rounds)
+        assert max(rounds) - min(rounds) <= 3
+
+    def test_selfstab_at_scale(self):
+        import random
+
+        from repro.runtime.graph import DynamicGraph
+        from repro.selfstab import FaultCampaign, SelfStabColoring, SelfStabEngine
+
+        n, delta = 400, 6
+        graph = DynamicGraph(n, delta)
+        rng = random.Random(2)
+        for v in range(n):
+            graph.add_vertex(v)
+        attempts = 0
+        while attempts < 4 * n:
+            u, v = rng.randrange(n), rng.randrange(n)
+            attempts += 1
+            if (
+                u != v
+                and not graph.has_edge(u, v)
+                and graph.degree(u) < delta
+                and graph.degree(v) < delta
+            ):
+                graph.add_edge(u, v)
+        algorithm = SelfStabColoring(n, delta)
+        engine = SelfStabEngine(graph, algorithm)
+        engine.run_to_quiescence()
+        campaign = FaultCampaign(3)
+        campaign.corrupt_random_rams(engine, n)
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()

@@ -1,0 +1,181 @@
+"""Tests for the O(1)-words self-stabilizing coloring variant."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowmem.workspace import WorkspaceOverflowError, bits_for_range
+from repro.selfstab import FaultCampaign, SelfStabColoring, SelfStabEngine
+from repro.selfstab.lowmem import SelfStabColoringConstantMemory
+from tests.test_selfstab_coloring import build_dynamic
+
+
+class TestEquivalence:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_transition_bit_identical_to_reference(self, seed):
+        """Same inputs -> same outputs as the plain SelfStabColoring."""
+        rng = random.Random(seed)
+        n, delta = 40, 5
+        reference = SelfStabColoring(n, delta)
+        lowmem = SelfStabColoringConstantMemory(n, delta)
+        total = reference.plan.total_size
+        for _ in range(12):
+            vertex = rng.randrange(n)
+            # Random mix of valid colors and garbage.
+            def rand_color():
+                if rng.random() < 0.15:
+                    return rng.choice([-3, total + 17, 10 ** 12])
+                return rng.randrange(total)
+
+            ram = rand_color()
+            neighborhood = tuple(rand_color() for _ in range(rng.randint(0, delta)))
+            assert reference.transition(
+                vertex, ram, neighborhood
+            ) == lowmem.transition(vertex, ram, neighborhood)
+
+    def test_full_runs_agree(self):
+        g1 = build_dynamic(30, 5, 0.2, seed=31)
+        g2 = build_dynamic(30, 5, 0.2, seed=31)
+        e1 = SelfStabEngine(g1, SelfStabColoring(30, 5))
+        e2 = SelfStabEngine(g2, SelfStabColoringConstantMemory(30, 5))
+        r1 = e1.run_to_quiescence()
+        r2 = e2.run_to_quiescence()
+        assert r1 == r2
+        assert e1.rams == e2.rams
+
+
+class TestMemoryBound:
+    def test_peak_words_constant_across_sizes(self):
+        peaks = []
+        for n, delta, seed in [(20, 3, 1), (60, 6, 2), (120, 8, 3)]:
+            g = build_dynamic(n, delta, 0.15, seed=seed)
+            algorithm = SelfStabColoringConstantMemory(n, delta)
+            engine = SelfStabEngine(g, algorithm)
+            engine.run_to_quiescence()
+            campaign = FaultCampaign(seed=seed)
+            campaign.corrupt_random_rams(engine, n // 2)
+            engine.run_to_quiescence()
+            peaks.append(algorithm.peak_words)
+        assert max(peaks) <= 10
+        assert max(peaks) - min(peaks) <= 4
+
+    def test_budget_enforcement_live(self):
+        g = build_dynamic(20, 4, 0.2, seed=4)
+        algorithm = SelfStabColoringConstantMemory(20, 4, bit_limit=2)
+        engine = SelfStabEngine(g, algorithm)
+        with pytest.raises(WorkspaceOverflowError):
+            engine.step()
+
+    def test_generous_budget_suffices(self):
+        g = build_dynamic(24, 4, 0.2, seed=5)
+        word = bits_for_range(24)
+        algorithm = SelfStabColoringConstantMemory(24, 4, bit_limit=12 * word)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+
+
+class TestStabilization:
+    def test_recovers_like_the_reference(self):
+        g = build_dynamic(30, 5, 0.2, seed=6)
+        algorithm = SelfStabColoringConstantMemory(30, 5)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        campaign = FaultCampaign(seed=7)
+        for _ in range(2):
+            campaign.corrupt_random_rams(engine, 12)
+            rounds = engine.run_to_quiescence()
+            assert engine.is_legal()
+            assert rounds <= algorithm.stabilization_bound()
+
+
+class TestExactConstantMemory:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_transition_bit_identical_to_reference(self, seed):
+        from repro.selfstab import SelfStabExactColoring
+        from repro.selfstab.lowmem import SelfStabExactColoringConstantMemory
+
+        rng = random.Random(seed)
+        n, delta = 40, 5
+        reference = SelfStabExactColoring(n, delta)
+        lowmem = SelfStabExactColoringConstantMemory(n, delta)
+        total = reference.plan.total_size
+        for _ in range(10):
+            vertex = rng.randrange(n)
+
+            def rand_color():
+                if rng.random() < 0.15:
+                    return rng.choice([-3, total + 17, 10 ** 12])
+                return rng.randrange(total)
+
+            ram = rand_color()
+            neighborhood = tuple(rand_color() for _ in range(rng.randint(0, delta)))
+            assert reference.transition(
+                vertex, ram, neighborhood
+            ) == lowmem.transition(vertex, ram, neighborhood)
+
+    def test_exact_runs_agree_and_constant_memory(self):
+        from repro.selfstab import SelfStabExactColoring
+        from repro.selfstab.lowmem import SelfStabExactColoringConstantMemory
+
+        peaks = []
+        for n, delta, seed in [(20, 3, 41), (60, 6, 42)]:
+            g1 = build_dynamic(n, delta, 0.2, seed=seed)
+            g2 = build_dynamic(n, delta, 0.2, seed=seed)
+            e1 = SelfStabEngine(g1, SelfStabExactColoring(n, delta))
+            algo2 = SelfStabExactColoringConstantMemory(n, delta)
+            e2 = SelfStabEngine(g2, algo2)
+            assert e1.run_to_quiescence() == e2.run_to_quiescence()
+            assert e1.rams == e2.rams
+            campaign = FaultCampaign(seed)
+            campaign.corrupt_random_rams(e2, n // 2)
+            e2.run_to_quiescence()
+            assert e2.is_legal()
+            peaks.append(algo2.peak_words)
+        assert max(peaks) <= 10
+
+
+class TestMISConstantMemory:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_transition_bit_identical_to_reference(self, seed):
+        from repro.selfstab import SelfStabMIS
+        from repro.selfstab.lowmem import SelfStabMISConstantMemory
+
+        rng = random.Random(seed)
+        n, delta = 30, 4
+        reference = SelfStabMIS(n, delta)
+        lowmem = SelfStabMISConstantMemory(n, delta)
+        total = reference.coloring.plan.total_size
+        statuses = ["MIS", "NOTMIS", "UND", "garbage"]
+
+        def rand_ram():
+            color = rng.randrange(total) if rng.random() > 0.1 else ("x",)
+            if rng.random() < 0.1:
+                return color  # malformed (not a pair)
+            return (color, rng.choice(statuses))
+
+        for _ in range(10):
+            vertex = rng.randrange(n)
+            ram = rand_ram()
+            neighborhood = tuple(rand_ram() for _ in range(rng.randint(0, delta)))
+            assert reference.transition(
+                vertex, ram, neighborhood
+            ) == lowmem.transition(vertex, ram, neighborhood)
+
+    def test_full_mis_run_agrees_with_constant_memory(self):
+        from repro.selfstab import SelfStabMIS
+        from repro.selfstab.lowmem import SelfStabMISConstantMemory
+
+        g1 = build_dynamic(24, 4, 0.2, seed=51)
+        g2 = build_dynamic(24, 4, 0.2, seed=51)
+        e1 = SelfStabEngine(g1, SelfStabMIS(24, 4))
+        algo2 = SelfStabMISConstantMemory(24, 4)
+        e2 = SelfStabEngine(g2, algo2)
+        assert e1.run_to_quiescence() == e2.run_to_quiescence()
+        assert e1.rams == e2.rams
+        assert algo2.peak_words <= 10

@@ -1,0 +1,48 @@
+"""The self-stabilizing algorithms use small messages (Section 5's claim
+that the self-stabilizing variants keep working "still with small
+messages")."""
+
+import math
+
+from repro.selfstab import (
+    SelfStabColoring,
+    SelfStabEngine,
+    SelfStabExactColoring,
+    SelfStabMIS,
+)
+from tests.test_selfstab_coloring import build_dynamic
+
+
+def congest_budget(n_bound):
+    return 6 * max(1, math.ceil(math.log2(max(2, n_bound))))
+
+
+class TestMessageSizes:
+    def test_coloring_messages_are_o_log_n(self):
+        for n in (40, 160):
+            g = build_dynamic(n, 5, 0.15, seed=n)
+            engine = SelfStabEngine(g, SelfStabColoring(n, 5))
+            engine.run_to_quiescence()
+            assert engine.max_message_bits <= congest_budget(n)
+
+    def test_exact_messages_are_o_log_n(self):
+        n = 80
+        g = build_dynamic(n, 5, 0.15, seed=3)
+        engine = SelfStabEngine(g, SelfStabExactColoring(n, 5))
+        engine.run_to_quiescence()
+        assert engine.max_message_bits <= congest_budget(n)
+
+    def test_mis_messages_add_constant_bits(self):
+        n = 60
+        g = build_dynamic(n, 5, 0.15, seed=4)
+        engine = SelfStabEngine(g, SelfStabMIS(n, 5))
+        engine.run_to_quiescence()
+        assert engine.max_message_bits <= congest_budget(n) + 8 * len("NOTMIS")
+
+    def test_payload_bits_helper(self):
+        bits = SelfStabEngine._payload_bits
+        assert bits(0) == 1
+        assert bits(255) == 9
+        assert bits(None) == 1
+        assert bits((3, "MIS")) == bits(3) + 24
+        assert bits(object()) == 64

@@ -1,0 +1,346 @@
+"""Tests for self-stabilizing MIS, maximal matching, and edge coloring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_maximal_independent_set, is_maximal_matching
+from repro.runtime.graph import DynamicGraph
+from repro.selfstab import (
+    FaultCampaign,
+    SelfStabEdgeColoring,
+    SelfStabEngine,
+    SelfStabMaximalMatching,
+    SelfStabMIS,
+)
+from tests.test_selfstab_coloring import build_dynamic, dynamic_path
+
+
+def assert_valid_mis(algorithm, graph, engine):
+    members = algorithm.mis_members(graph, engine.rams)
+    snapshot, index = graph.snapshot()
+    assert is_maximal_independent_set(snapshot, {index[v] for v in members})
+
+
+class TestSelfStabMIS:
+    def test_stabilizes_and_is_valid(self):
+        g = build_dynamic(36, 6, 0.15, seed=1)
+        algorithm = SelfStabMIS(36, 6)
+        engine = SelfStabEngine(g, algorithm)
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+        assert_valid_mis(algorithm, g, engine)
+
+    def test_recovers_from_status_corruption(self):
+        g = build_dynamic(30, 5, 0.2, seed=2)
+        algorithm = SelfStabMIS(30, 5)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        # Force two adjacent vertices into the MIS simultaneously.
+        edges = g.edges()
+        u, v = edges[0]
+        engine.corrupt(u, (engine.rams[u][0], "MIS"))
+        engine.corrupt(v, (engine.rams[v][0], "MIS"))
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert_valid_mis(algorithm, g, engine)
+
+    def test_recovers_from_garbage(self):
+        g = build_dynamic(24, 5, 0.2, seed=3)
+        algorithm = SelfStabMIS(24, 5)
+        engine = SelfStabEngine(g, algorithm)
+        campaign = FaultCampaign(seed=4)
+        campaign.corrupt_random_rams(engine, 10)
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+
+    def test_adjustment_radius_at_most_two(self):
+        """Theorem 4.6: MIS changes stay within distance 2 of the fault."""
+        g = dynamic_path(30)
+        algorithm = SelfStabMIS(30, 2)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        victim = 15
+        engine.reset_touched()
+        engine.corrupt(victim, (engine.rams[16][0], "MIS"))
+        engine.run_to_quiescence()
+        assert engine.adjustment_radius([victim]) <= 2
+
+    def test_mis_respects_color_order(self):
+        g = build_dynamic(30, 5, 0.2, seed=5)
+        algorithm = SelfStabMIS(30, 5)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        colors = {v: engine.rams[v][0] for v in g.vertices()}
+        members = algorithm.mis_members(g, engine.rams)
+        # Greedy-by-color: a non-member must have a member neighbor with a
+        # smaller or equal... (at least one member neighbor, by maximality).
+        for v in g.vertices():
+            if v not in members:
+                assert any(u in members for u in g.neighbors(v))
+
+    def test_topology_churn(self):
+        g = build_dynamic(26, 5, 0.2, seed=6)
+        algorithm = SelfStabMIS(26, 5)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        campaign = FaultCampaign(seed=7)
+        for _ in range(3):
+            campaign.churn_vertices(engine, crashes=1, spawns=1)
+            campaign.churn_edges(engine, removals=1, additions=1)
+            engine.run_to_quiescence()
+            assert engine.is_legal()
+
+
+class TestSelfStabMaximalMatching:
+    def test_matching_is_maximal(self):
+        base = build_dynamic(18, 4, 0.2, seed=8)
+        mm = SelfStabMaximalMatching(base)
+        rounds = mm.run_to_quiescence()
+        assert mm.is_legal()
+        snapshot, index = base.snapshot()
+        matched = [
+            (index[u], index[v]) for u, v in mm.matching()
+        ]
+        assert is_maximal_matching(snapshot, matched)
+
+    def test_matching_survives_edge_corruption(self):
+        base = build_dynamic(14, 4, 0.25, seed=9)
+        mm = SelfStabMaximalMatching(base)
+        mm.run_to_quiescence()
+        u, v = base.edges()[0]
+        mm.corrupt_edge(u, v, ("garbage", 1))
+        mm.run_to_quiescence()
+        assert mm.is_legal()
+
+    def test_matching_after_topology_change(self):
+        base = build_dynamic(14, 4, 0.25, seed=10)
+        mm = SelfStabMaximalMatching(base)
+        mm.run_to_quiescence()
+        edges = base.edges()
+        base.remove_edge(*edges[0])
+        present = base.vertices()
+        for u in present:
+            for v in present:
+                if (
+                    u < v
+                    and not base.has_edge(u, v)
+                    and base.degree(u) < base.delta_bound
+                    and base.degree(v) < base.delta_bound
+                ):
+                    base.add_edge(u, v)
+                    break
+            else:
+                continue
+            break
+        mm.sync_topology()
+        mm.run_to_quiescence()
+        assert mm.is_legal()
+        snapshot, index = base.snapshot()
+        matched = [(index[u], index[v]) for u, v in mm.matching()]
+        assert is_maximal_matching(snapshot, matched)
+
+
+class TestSelfStabEdgeColoring:
+    def test_exact_two_delta_minus_one(self):
+        base = build_dynamic(14, 4, 0.25, seed=11)
+        ec = SelfStabEdgeColoring(base, exact=True)
+        ec.run_to_quiescence()
+        assert ec.is_legal()
+        colors = ec.edge_colors()
+        palette_cap = 2 * 4 - 1
+        assert all(0 <= c < palette_cap for c in colors.values())
+        # Properness: incident edges differ.
+        for u, v in base.edges():
+            for w in base.neighbors(v):
+                if (min(v, w), max(v, w)) != (u, v) and w != u:
+                    e1 = (min(u, v), max(u, v))
+                    e2 = (min(v, w), max(v, w))
+                    assert colors[e1] != colors[e2]
+
+    def test_inexact_variant(self):
+        base = build_dynamic(14, 4, 0.25, seed=12)
+        ec = SelfStabEdgeColoring(base, exact=False)
+        ec.run_to_quiescence()
+        assert ec.is_legal()
+
+    def test_recovery_from_edge_state_corruption(self):
+        base = build_dynamic(12, 3, 0.3, seed=13)
+        ec = SelfStabEdgeColoring(base, exact=True)
+        ec.run_to_quiescence()
+        campaign = FaultCampaign(seed=14)
+        campaign.corrupt_random_rams(ec.engine, 5)
+        ec.run_to_quiescence()
+        assert ec.is_legal()
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=8, deadline=None)
+    def test_mis_random_storms(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 22)
+        delta = rng.randint(2, 5)
+        g = build_dynamic(n, delta, rng.uniform(0.1, 0.3), seed=seed)
+        algorithm = SelfStabMIS(n, delta)
+        engine = SelfStabEngine(g, algorithm)
+        campaign = FaultCampaign(seed=seed)
+        for _ in range(2):
+            campaign.corrupt_random_rams(engine, rng.randint(1, n))
+            engine.run_to_quiescence()
+            assert engine.is_legal()
+            assert_valid_mis(algorithm, g, engine)
+
+
+class TestLineGraphAdjustmentRadii:
+    def _stable_path_matching(self, n):
+        base = dynamic_path(n)
+        mm = SelfStabMaximalMatching(base)
+        mm.run_to_quiescence()
+        return base, mm
+
+    def test_matching_radius_at_most_three_in_base_graph(self):
+        """Theorem 4.7 discussion: MM adjustment radius 3 (base-graph hops).
+
+        A radius-2 MIS disturbance on the line graph maps to at most 3 hops
+        between base vertices.
+        """
+        base, mm = self._stable_path_matching(24)
+        edges = base.edges()
+        mid = edges[len(edges) // 2]
+        slot = mm.mirror.slot(*mid)
+        # Force the virtual vertex into the matching illegally.
+        fake = (mm.engine.rams[slot][0], "MIS")
+        mm.engine.corrupt(slot, fake)
+        mm.engine.reset_touched()
+        mm.engine.corrupt(slot, fake)
+        mm.run_to_quiescence()
+        touched_slots = mm.engine.touched
+        touched_vertices = set()
+        for s in touched_slots:
+            u, v = mm.mirror.edge_of(s)
+            touched_vertices.update((u, v))
+        distances = base.bfs_distances(set(mid))
+        radius = max(
+            (distances.get(v, float("inf")) for v in touched_vertices), default=0
+        )
+        assert radius <= 3
+
+    def test_edge_coloring_radius_at_most_two_in_base_graph(self):
+        """Line-graph coloring has radius 1 -> base-graph radius <= 2."""
+        base = dynamic_path(24)
+        ec = SelfStabEdgeColoring(base, exact=False)
+        ec.run_to_quiescence()
+        edges = base.edges()
+        mid = edges[len(edges) // 2]
+        neighbor_edge = edges[len(edges) // 2 + 1]
+        stolen = ec.engine.rams[ec.mirror.slot(*neighbor_edge)]
+        slot = ec.mirror.slot(*mid)
+        ec.engine.corrupt(slot, stolen)
+        ec.engine.reset_touched()
+        ec.engine.corrupt(slot, stolen)
+        ec.run_to_quiescence()
+        touched_vertices = set()
+        for s in ec.engine.touched:
+            u, v = ec.mirror.edge_of(s)
+            touched_vertices.update((u, v))
+        distances = base.bfs_distances(set(mid))
+        radius = max(
+            (distances.get(v, float("inf")) for v in touched_vertices), default=0
+        )
+        assert radius <= 2
+
+
+class TestMISWithExactColoringCore:
+    def test_mis_over_exact_coloring_factory(self):
+        from repro.selfstab import SelfStabExactColoring
+
+        g = build_dynamic(24, 4, 0.22, seed=15)
+        algorithm = SelfStabMIS(24, 4, coloring_factory=SelfStabExactColoring)
+        engine = SelfStabEngine(g, algorithm)
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+        assert_valid_mis(algorithm, g, engine)
+
+    def test_mis_exact_recovers_from_faults(self):
+        from repro.selfstab import SelfStabExactColoring
+
+        g = build_dynamic(20, 4, 0.25, seed=16)
+        algorithm = SelfStabMIS(20, 4, coloring_factory=SelfStabExactColoring)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        campaign = FaultCampaign(seed=17)
+        campaign.corrupt_random_rams(engine, 8)
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+
+
+class TestEndpointCopyConsistency:
+    """Section 4.2's copy rule: the greater endpoint copies the smaller's
+    state, so only authoritative-copy faults can influence the algorithm."""
+
+    def test_secondary_copy_fault_heals_without_algorithmic_effect(self):
+        base = build_dynamic(14, 4, 0.25, seed=81)
+        mm = SelfStabMaximalMatching(base)
+        mm.run_to_quiescence()
+        before = dict(mm.engine.rams)
+        u, v = base.edges()[0]
+        mm.corrupt_edge_copy(u, v, holder=max(u, v), ram=("junk",))
+        assert not mm.is_legal()  # copies inconsistent
+        mm.engine.reset_touched()
+        rounds = mm.run_to_quiescence()
+        assert mm.is_legal()
+        assert mm.engine.rams == before  # healed by the copy, no recompute
+        assert rounds <= 1 or not mm.engine.touched
+
+    def test_primary_copy_fault_reaches_the_algorithm(self):
+        base = build_dynamic(14, 4, 0.25, seed=82)
+        mm = SelfStabMaximalMatching(base)
+        mm.run_to_quiescence()
+        u, v = base.edges()[0]
+        mm.corrupt_edge_copy(u, v, holder=min(u, v), ram=("junk",))
+        slot = mm.mirror.slot(u, v)
+        assert mm.engine.rams[slot] == ("junk",)
+        mm.run_to_quiescence()
+        assert mm.is_legal()
+
+    def test_non_endpoint_holder_rejected(self):
+        base = build_dynamic(10, 3, 0.3, seed=83)
+        ec = SelfStabEdgeColoring(base, exact=False)
+        u, v = base.edges()[0]
+        other = next(w for w in base.vertices() if w not in (u, v))
+        with pytest.raises(ValueError):
+            ec.corrupt_edge_copy(u, v, holder=other, ram=0)
+
+    def test_edge_coloring_secondary_desync_also_heals(self):
+        base = build_dynamic(12, 3, 0.3, seed=84)
+        ec = SelfStabEdgeColoring(base, exact=False)
+        ec.run_to_quiescence()
+        u, v = base.edges()[0]
+        ec.corrupt_edge_copy(u, v, holder=max(u, v), ram=-1)
+        assert not ec.is_legal()
+        ec.run_to_quiescence()
+        assert ec.is_legal()
+
+
+class TestConstantMemoryEdgeColoring:
+    def test_line_wrapper_with_o1_memory_core(self):
+        base = build_dynamic(12, 3, 0.3, seed=91)
+        ec = SelfStabEdgeColoring(base, exact=True, constant_memory=True)
+        ec.run_to_quiescence()
+        assert ec.is_legal()
+        assert ec.algorithm.peak_words <= 10
+        colors = ec.edge_colors()
+        assert all(0 <= c < 2 * 3 - 1 for c in colors.values())
+
+    def test_o1_memory_matches_reference(self):
+        base1 = build_dynamic(12, 3, 0.3, seed=92)
+        base2 = build_dynamic(12, 3, 0.3, seed=92)
+        reference = SelfStabEdgeColoring(base1, exact=True)
+        metered = SelfStabEdgeColoring(base2, exact=True, constant_memory=True)
+        assert reference.run_to_quiescence() == metered.run_to_quiescence()
+        assert reference.edge_colors() == metered.edge_colors()

@@ -1,0 +1,174 @@
+"""Stateful (model-based) testing of the self-stabilizing algorithms.
+
+A hypothesis RuleBasedStateMachine drives a SelfStabEngine with an arbitrary
+interleaving of rounds, RAM corruptions, topology churn and quiescence runs.
+The machine-wide invariant is the paper's contract: whenever the engine is
+given a clean stabilization window, the state is legal — no matter what
+history preceded it.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.runtime.graph import DynamicGraph
+from repro.selfstab import (
+    FaultCampaign,
+    SelfStabColoring,
+    SelfStabEngine,
+    SelfStabExactColoring,
+    SelfStabMIS,
+)
+
+N_BOUND = 18
+DELTA_BOUND = 4
+
+
+def _fresh_graph(seed):
+    rng = random.Random(seed)
+    graph = DynamicGraph(N_BOUND, DELTA_BOUND)
+    for v in range(12):
+        graph.add_vertex(v)
+    vertices = graph.vertices()
+    for u in vertices:
+        for v in vertices:
+            if (
+                u < v
+                and rng.random() < 0.25
+                and graph.degree(u) < DELTA_BOUND
+                and graph.degree(v) < DELTA_BOUND
+            ):
+                graph.add_edge(u, v)
+    return graph
+
+
+class SelfStabMachine(RuleBasedStateMachine):
+    @initialize(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        kind=st.sampled_from(["plain", "exact", "mis"]),
+    )
+    def setup(self, seed, kind):
+        factory = {
+            "plain": SelfStabColoring,
+            "exact": SelfStabExactColoring,
+            "mis": SelfStabMIS,
+        }[kind]
+        self.graph = _fresh_graph(seed)
+        self.algorithm = factory(N_BOUND, DELTA_BOUND)
+        self.engine = SelfStabEngine(self.graph, self.algorithm)
+        self.campaign = FaultCampaign(seed + 1)
+        self.stabilized = False
+
+    @rule(count=st.integers(min_value=1, max_value=6))
+    def run_rounds(self, count):
+        for _ in range(count):
+            self.engine.step()
+        self.stabilized = False
+
+    @rule(count=st.integers(min_value=1, max_value=8))
+    def corrupt(self, count):
+        self.campaign.corrupt_random_rams(self.engine, count)
+        self.stabilized = False
+
+    @rule()
+    def churn_edges(self):
+        self.campaign.churn_edges(self.engine, removals=1, additions=1)
+        self.stabilized = False
+
+    @rule()
+    def churn_vertices(self):
+        self.campaign.churn_vertices(self.engine, crashes=1, spawns=1)
+        self.stabilized = False
+
+    @rule()
+    def give_clean_window(self):
+        """The contract: a fault-free window always ends legal + quiescent."""
+        rounds = self.engine.run_to_quiescence()
+        assert rounds <= self.algorithm.stabilization_bound() + 1
+        self.stabilized = True
+
+    @invariant()
+    def legal_after_stabilization(self):
+        if getattr(self, "stabilized", False):
+            assert self.engine.is_legal()
+
+
+TestSelfStabStateMachine = SelfStabMachine.TestCase
+TestSelfStabStateMachine.settings = settings(
+    max_examples=12, stateful_step_count=18, deadline=None
+)
+
+
+class LineWrapperMachine(RuleBasedStateMachine):
+    """Model-based testing of the line-graph wrappers: arbitrary
+    interleavings of rounds, edge-state corruption, base-topology churn and
+    clean windows — matching and edge coloring must always return to a legal
+    state when given the chance."""
+
+    @initialize(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        kind=st.sampled_from(["matching", "edge-coloring"]),
+    )
+    def setup(self, seed, kind):
+        import random as _random
+
+        from repro.selfstab import SelfStabEdgeColoring, SelfStabMaximalMatching
+
+        self.rng = _random.Random(seed)
+        self.base = _fresh_graph(seed + 7)
+        if kind == "matching":
+            self.wrapper = SelfStabMaximalMatching(self.base)
+        else:
+            self.wrapper = SelfStabEdgeColoring(self.base, exact=False)
+        self.campaign = FaultCampaign(seed + 11)
+        self.stabilized = False
+
+    @rule(count=st.integers(min_value=1, max_value=4))
+    def run_rounds(self, count):
+        for _ in range(count):
+            self.wrapper.step()
+        self.stabilized = False
+
+    @rule(count=st.integers(min_value=1, max_value=5))
+    def corrupt_edge_states(self, count):
+        self.campaign.corrupt_random_rams(self.wrapper.engine, count)
+        self.stabilized = False
+
+    @rule()
+    def churn_base_edge(self):
+        edges = self.base.edges()
+        if edges:
+            u, v = self.rng.choice(edges)
+            self.base.remove_edge(u, v)
+        vertices = self.base.vertices()
+        candidates = [
+            (a, b)
+            for a in vertices
+            for b in vertices
+            if a < b
+            and not self.base.has_edge(a, b)
+            and self.base.degree(a) < self.base.delta_bound
+            and self.base.degree(b) < self.base.delta_bound
+        ]
+        if candidates:
+            self.base.add_edge(*self.rng.choice(candidates))
+        self.wrapper.sync_topology()
+        self.stabilized = False
+
+    @rule()
+    def give_clean_window(self):
+        self.wrapper.run_to_quiescence()
+        self.stabilized = True
+
+    @invariant()
+    def legal_after_stabilization(self):
+        if getattr(self, "stabilized", False):
+            assert self.wrapper.is_legal()
+
+
+TestLineWrapperMachine = LineWrapperMachine.TestCase
+TestLineWrapperMachine.settings = settings(
+    max_examples=8, stateful_step_count=12, deadline=None
+)

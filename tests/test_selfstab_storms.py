@@ -1,0 +1,113 @@
+"""Fault storms *during* convergence.
+
+The fully-dynamic adversary need not wait for quiescence: faults may hit in
+every round, "as soon one after another as one wishes" (Section 1.2.1).
+Stabilization time is measured from the *last* fault, so these tests
+interleave faults with rounds mid-convergence and only require legality
+within the bound after the storm ends.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selfstab import (
+    FaultCampaign,
+    SelfStabColoring,
+    SelfStabEngine,
+    SelfStabExactColoring,
+    SelfStabMIS,
+)
+from tests.test_selfstab_coloring import build_dynamic
+
+
+def storm_then_stabilize(engine, campaign, rng, storm_rounds):
+    """Interleave one fault with every round for ``storm_rounds`` rounds."""
+    for _ in range(storm_rounds):
+        action = rng.randrange(3)
+        if action == 0:
+            campaign.corrupt_random_rams(engine, rng.randint(1, 4))
+        elif action == 1:
+            campaign.churn_edges(engine, removals=1, additions=1)
+        else:
+            campaign.churn_vertices(engine, crashes=1, spawns=1)
+        engine.step()  # the algorithm keeps running under fire
+    return engine.run_to_quiescence()
+
+
+@pytest.mark.parametrize(
+    "factory", [SelfStabColoring, SelfStabExactColoring, SelfStabMIS]
+)
+class TestStormsDuringConvergence:
+    def test_per_round_faults_then_recovery(self, factory):
+        g = build_dynamic(30, 5, 0.2, seed=21)
+        algorithm = factory(30, 5)
+        engine = SelfStabEngine(g, algorithm)
+        campaign = FaultCampaign(seed=22)
+        rng = random.Random(23)
+        rounds = storm_then_stabilize(engine, campaign, rng, storm_rounds=20)
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    def test_storm_mid_descent(self, factory):
+        """Corrupt while vertices are still descending the Linial intervals."""
+        g = build_dynamic(30, 5, 0.2, seed=24)
+        algorithm = factory(30, 5)
+        engine = SelfStabEngine(g, algorithm)
+        campaign = FaultCampaign(seed=25)
+        engine.step()  # one round only: mid-descent
+        campaign.corrupt_random_rams(engine, 15)
+        engine.step()
+        campaign.corrupt_random_rams(engine, 15)
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    def test_repeated_catastrophes(self, factory):
+        g = build_dynamic(24, 4, 0.22, seed=26)
+        algorithm = factory(24, 4)
+        engine = SelfStabEngine(g, algorithm)
+        for _ in range(3):
+            for v in g.vertices():
+                engine.corrupt(v, 0 if factory is not SelfStabMIS else (0, "MIS"))
+            engine.step()
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+
+class TestStormsPropertyBased:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_random_interleavings(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(8, 24)
+        delta = rng.randint(2, 5)
+        g = build_dynamic(n, delta, rng.uniform(0.1, 0.3), seed=seed)
+        algorithm = SelfStabExactColoring(n, delta)
+        engine = SelfStabEngine(g, algorithm)
+        campaign = FaultCampaign(seed=seed)
+        rounds = storm_then_stabilize(
+            engine, campaign, rng, storm_rounds=rng.randint(3, 15)
+        )
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=8, deadline=None)
+    def test_stabilization_measured_from_last_fault_only(self, seed):
+        """Quiescence reached twice: after a storm and after a second storm —
+        the second recovery must not depend on the first storm's history."""
+        rng = random.Random(seed)
+        n = rng.randint(10, 22)
+        g = build_dynamic(n, 4, 0.2, seed=seed)
+        algorithm = SelfStabColoring(n, 4)
+        engine = SelfStabEngine(g, algorithm)
+        campaign = FaultCampaign(seed=seed + 1)
+        first = storm_then_stabilize(engine, campaign, rng, 6)
+        second = storm_then_stabilize(engine, campaign, rng, 6)
+        assert engine.is_legal()
+        bound = algorithm.stabilization_bound()
+        assert first <= bound and second <= bound

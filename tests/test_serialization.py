@@ -1,0 +1,90 @@
+"""Results serialize to plain JSON — the tooling/export surface."""
+
+import json
+
+from repro import delta_plus_one_coloring
+from repro.core import AdditiveGroupColoring
+from repro.edge import edge_coloring_congest
+from repro.graphgen import gnp_graph, random_regular
+from repro.runtime import ColoringEngine
+
+
+class TestRunResultSerialization:
+    def test_round_trips_through_json(self):
+        graph = gnp_graph(25, 0.2, seed=1)
+        run = ColoringEngine(graph).run(
+            AdditiveGroupColoring(), list(range(graph.n))
+        )
+        payload = json.loads(json.dumps(run.to_dict()))
+        assert payload["colors"] == run.int_colors
+        assert payload["rounds_used"] == run.rounds_used
+        assert payload["metrics"]["total_rounds"] == run.metrics.total_rounds
+        assert len(payload["metrics"]["rounds"]) == run.rounds_used
+
+    def test_metrics_detail(self):
+        graph = random_regular(20, 4, seed=2)
+        run = ColoringEngine(graph).run(
+            AdditiveGroupColoring(), list(range(graph.n))
+        )
+        detail = run.metrics.to_dict()["rounds"]
+        assert all(
+            set(entry) == {"round", "messages", "bits", "changed"}
+            for entry in detail
+        )
+        assert sum(e["bits"] for e in detail) == run.metrics.total_bits
+
+
+class TestPipelineSerialization:
+    def test_pipeline_to_dict(self):
+        graph = random_regular(32, 4, seed=3)
+        result = delta_plus_one_coloring(graph)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["num_colors"] <= graph.max_degree + 1
+        assert [s["name"] for s in payload["stages"]] == [
+            "linial",
+            "additive-group",
+            "standard-reduction",
+        ]
+        assert payload["total_rounds"] == result.total_rounds
+        assert payload["stages"][-1]["out_palette"] == graph.max_degree + 1
+
+
+class TestEdgeColoringSerialization:
+    def test_edge_result_to_dict(self):
+        graph = random_regular(16, 4, seed=4)
+        result = edge_coloring_congest(graph)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["palette_size"] == result.palette_size
+        assert len(payload["edge_colors"]) == graph.m
+        assert payload["total_bits_per_edge"] == result.total_bits_per_edge
+        # Keys are "u-v" strings decodeable back to edges.
+        for key in payload["edge_colors"]:
+            u, v = map(int, key.split("-"))
+            assert graph.has_edge(u, v)
+
+
+class TestOtherResultSerializations:
+    def test_bek_mis_matching_lowmem(self):
+        from repro.apps import (
+            locally_iterative_maximal_matching,
+            locally_iterative_mis,
+        )
+        from repro.baselines import bek_delta_plus_one
+        from repro.graphgen import cycle_graph
+        from repro.lowmem import delta_plus_one_coloring_low_memory
+
+        graph = cycle_graph(10)
+        payloads = [
+            bek_delta_plus_one(graph).to_dict(),
+            locally_iterative_mis(graph).to_dict(),
+            locally_iterative_maximal_matching(graph).to_dict(),
+            delta_plus_one_coloring_low_memory(graph).to_dict(),
+        ]
+        for payload in payloads:
+            json.dumps(payload)  # round-trippable
+        assert payloads[0]["num_colors"] <= 3
+        assert payloads[1]["total_rounds"] == (
+            payloads[1]["coloring_rounds"] + payloads[1]["sweep_rounds"]
+        )
+        assert all(len(e) == 2 for e in payloads[2]["edges"])
+        assert payloads[3]["peak_words"] >= 1

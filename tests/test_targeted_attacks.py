@@ -1,0 +1,88 @@
+"""Tests for the hand-crafted worst-case attack patterns."""
+
+import pytest
+
+from repro.selfstab import (
+    SelfStabColoring,
+    SelfStabEngine,
+    SelfStabExactColoring,
+    SelfStabMIS,
+)
+from repro.selfstab.adversary import TargetedAttacks
+from tests.test_selfstab_coloring import build_dynamic, dynamic_path
+
+
+@pytest.mark.parametrize(
+    "factory", [SelfStabColoring, SelfStabExactColoring, SelfStabMIS]
+)
+class TestAttackRecovery:
+    def test_color_theft_chain(self, factory):
+        g = dynamic_path(30)
+        algorithm = factory(30, 2)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        TargetedAttacks.steal_colors_along_path(engine, list(range(5, 25)))
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    def test_clone_everything(self, factory):
+        g = build_dynamic(24, 4, 0.2, seed=61)
+        algorithm = factory(24, 4)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        TargetedAttacks.clone_everything(engine)
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    def test_descent_interruption(self, factory):
+        g = build_dynamic(24, 4, 0.2, seed=62)
+        algorithm = factory(24, 4)
+        engine = SelfStabEngine(g, algorithm)
+        victims = g.vertices()[:5]
+        TargetedAttacks.descent_interruption(engine, victims, rounds_between=2)
+        rounds = engine.run_to_quiescence()
+        assert engine.is_legal()
+        assert rounds <= algorithm.stabilization_bound()
+
+    def test_isolate_and_reconnect(self, factory):
+        g = build_dynamic(24, 4, 0.2, seed=63)
+        algorithm = factory(24, 4)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        TargetedAttacks.isolate_and_reconnect(engine, g.vertices()[0])
+        engine.run_to_quiescence()
+        assert engine.is_legal()
+
+
+class TestAttackScopes:
+    def test_theft_chain_does_not_cascade(self):
+        """The chain attack cannot propagate past its own footprint + 1."""
+        g = dynamic_path(60)
+        algorithm = SelfStabColoring(60, 2)
+        engine = SelfStabEngine(g, algorithm)
+        engine.run_to_quiescence()
+        engine.reset_touched()
+        victims = TargetedAttacks.steal_colors_along_path(
+            engine, list(range(20, 30))
+        )
+        engine.run_to_quiescence()
+        assert engine.adjustment_radius(victims) <= 1
+
+    def test_clone_returns_all_vertices(self):
+        g = build_dynamic(10, 3, 0.3, seed=64)
+        algorithm = SelfStabColoring(10, 3)
+        engine = SelfStabEngine(g, algorithm)
+        hit = TargetedAttacks.clone_everything(engine)
+        assert set(hit) == set(g.vertices())
+        assert len(set(engine.rams.values())) == 1
+
+    def test_empty_graph_attacks_are_noops(self):
+        from repro.runtime.graph import DynamicGraph
+
+        g = DynamicGraph(4, 2)
+        engine = SelfStabEngine(g, SelfStabColoring(4, 2))
+        assert TargetedAttacks.clone_everything(engine) == []
+        assert TargetedAttacks.steal_colors_along_path(engine, [0, 1]) == []
+        assert TargetedAttacks.isolate_and_reconnect(engine, 0) == []
