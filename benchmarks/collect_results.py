@@ -47,6 +47,7 @@ ORDER = [
     "E-BEK",
     "E-APPS",
     "E-SCALE",
+    "E-ENGINE",
 ]
 
 

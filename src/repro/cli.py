@@ -70,13 +70,17 @@ def _cmd_color(args, out):
     graph = _build_graph(args)
     visibility = Visibility.SET_LOCAL if args.set_local else None
     if args.algorithm == "cor36":
-        result = delta_plus_one_coloring(graph, visibility=visibility)
+        result = delta_plus_one_coloring(
+            graph, visibility=visibility, backend=args.backend
+        )
         colors, rounds = result.colors, result.rounds_by_stage()
     elif args.algorithm == "exact":
-        result = delta_plus_one_exact_no_reduction(graph, visibility=visibility)
+        result = delta_plus_one_exact_no_reduction(
+            graph, visibility=visibility, backend=args.backend
+        )
         colors, rounds = result.colors, result.rounds_by_stage()
     else:  # sublinear
-        result = one_plus_eps_delta_coloring(graph)
+        result = one_plus_eps_delta_coloring(graph, backend=args.backend)
         colors, rounds = result.colors, result.stage_rounds
     assert is_proper_coloring(graph, colors)
     if args.json:
@@ -225,6 +229,13 @@ def build_parser():
     )
     color.add_argument(
         "--set-local", action="store_true", help="run in the SET-LOCAL model"
+    )
+    color.add_argument(
+        "--backend",
+        choices=["auto", "batch", "reference"],
+        default="auto",
+        help="engine backend: auto picks the vectorized NumPy engine when "
+        "available (install with `pip install repro[fast]`)",
     )
     color.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"

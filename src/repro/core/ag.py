@@ -143,3 +143,46 @@ class AdditiveGroupColoring(LocallyIterativeColoring):
         if round_index == 0:
             return super().message_bits(round_index)
         return 1
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: (a, b) as two int64 arrays.  The conflict test is pure existence
+    # over the neighborhood, so the kernel is identical in LOCAL and
+    # SET-LOCAL (multiplicities never matter).
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial``: int64 input colors to the state arrays."""
+        self._require_configured()
+        q = self.q
+        bad = (initial < 0) | (initial >= q * q)
+        if bool(bad.any()):
+            first = int(initial[int(bad.argmax())])
+            raise ValueError(
+                "input color %d does not fit in q^2 = %d" % (first, q * q)
+            )
+        return (initial // q, initial % q)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: advance every vertex one round on the CSR view."""
+        import numpy as np
+
+        a, b = state
+        conflict = csr.any_per_vertex(csr.gather(b) == csr.owner_values(b))
+        new_a = np.where(conflict, a, 0)
+        new_b = np.where(conflict, (b + a) % self.q, b)
+        return (new_a, new_b)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final``: boolean finality mask over the state."""
+        return state[0] == 0
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final``: decoded color array (scalar errors kept)."""
+        a, b = state
+        working = a != 0
+        if bool(working.any()):
+            v = int(working.argmax())
+            raise ValueError(
+                "vertex still in working stage: %r" % ((int(a[v]), int(b[v])),)
+            )
+        return b

@@ -130,3 +130,60 @@ class ThreeDimensionalAG(LocallyIterativeColoring):
         if round_index == 0:
             return max(1, math.ceil(math.log2(max(2, self.p ** 3))))
         return 2
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: (c, b, a) as three int64 arrays.  Both conflict tests are pure
+    # existence over the neighborhood, so the kernel is visibility-independent.
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial``: int64 input colors to the state arrays."""
+        self._require_configured()
+        p = self.p
+        bad = (initial < 0) | (initial >= p ** 3)
+        if bool(bad.any()):
+            first = int(initial[int(bad.argmax())])
+            raise ValueError(
+                "input color %d does not fit in p^3 = %d" % (first, p ** 3)
+            )
+        return (initial // (p * p), (initial // p) % p, initial % p)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: advance every vertex one round on the CSR view."""
+        import numpy as np
+
+        c, b, a = state
+        p = self.p
+        nc, nb, na = csr.gather(c), csr.gather(b), csr.gather(a)
+        # Phase-1 conflict: a *different-c* neighbor shares b (see the
+        # reproduction note above); phase-2 conflict: a neighbor shares a.
+        phase1 = csr.any_per_vertex(
+            (nb == csr.owner_values(b)) & (nc != csr.owner_values(c))
+        )
+        phase2 = csr.any_per_vertex(na == csr.owner_values(a))
+        working = c != 0
+        new_c = np.where(working & phase1, c, 0)
+        new_b = np.where(
+            working,
+            np.where(phase1, (b + c) % p, b),
+            np.where(phase2, b, 0),
+        )
+        new_a = np.where(working, a, np.where(phase2, (a + b) % p, a))
+        return (new_c, new_b, new_a)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final``: boolean finality mask over the state."""
+        c, b, _ = state
+        return (c == 0) & (b == 0)
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final``: decoded color array (scalar errors kept)."""
+        c, b, a = state
+        unfinished = (c != 0) | (b != 0)
+        if bool(unfinished.any()):
+            v = int(unfinished.argmax())
+            raise ValueError(
+                "vertex has not finalized: %r"
+                % ((int(c[v]), int(b[v]), int(a[v])),)
+            )
+        return a

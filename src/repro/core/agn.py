@@ -84,3 +84,45 @@ class AdditiveGroupZN(LocallyIterativeColoring):
         if round_index == 0:
             return super().message_bits(round_index)
         return 1
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: (b, a) as two int64 arrays.  The conflict test ("some neighbor
+    # has the same a, regardless of its b") is pure existence, so the kernel
+    # is visibility-independent.
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial``: int64 input colors to the state arrays."""
+        self._require_configured()
+        n = self.modulus
+        bad = (initial < 0) | (initial >= 2 * n)
+        if bool(bad.any()):
+            first = int(initial[int(bad.argmax())])
+            raise ValueError("input color %d out of range [0, %d)" % (first, 2 * n))
+        return (initial // n, initial % n)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: advance every vertex one round on the CSR view."""
+        import numpy as np
+
+        b, a = state
+        conflict = csr.any_per_vertex(csr.gather(a) == csr.owner_values(a))
+        working = b != 0
+        new_b = np.where(working & ~conflict, 0, b)
+        new_a = np.where(working & conflict, (a + 1) % self.modulus, a)
+        return (new_b, new_a)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final``: boolean finality mask over the state."""
+        return state[0] == 0
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final``: decoded color array (scalar errors kept)."""
+        b, a = state
+        working = b != 0
+        if bool(working.any()):
+            v = int(working.argmax())
+            raise ValueError(
+                "vertex still working: %r" % ((int(b[v]), int(a[v])),)
+            )
+        return a

@@ -113,6 +113,82 @@ class ArbAGColoring(LocallyIterativeColoring):
 
         return max(1, math.ceil(math.log2(max(2, self.q))))
 
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: (a, b, orig, fr) as four int64 arrays, with ``fr = -1`` standing
+    # in for the scalar ``None`` (any real finalization round is >= 0).
+    # Unlike the rest of the AG family this rule *counts* conflicts, so in
+    # SET-LOCAL the neighborhood must first collapse to distinct colors —
+    # identical 4-tuples from different neighbors are one message.
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial``: int64 input colors to the state arrays."""
+        import numpy as np
+
+        self._require_configured()
+        q = self.q
+        bad = (initial < 0) | (initial >= q * q)
+        if bool(bad.any()):
+            first = int(initial[int(bad.argmax())])
+            raise ValueError(
+                "input color %d does not fit in q^2 = %d" % (first, q * q)
+            )
+        a = initial // q
+        b = initial % q
+        # a == 0 cannot rotate: committed (fr = 0) from the start, exactly as
+        # the scalar encode_initial.
+        fr = np.where(a == 0, 0, -1)
+        return (a, b, initial.copy(), fr)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: advance every vertex one round on the CSR view."""
+        import numpy as np
+
+        from repro.runtime.engine import Visibility
+
+        a, b, orig, fr = state
+        conflict_slots = (csr.gather(b) == csr.owner_values(b)) & (
+            csr.gather(orig) != csr.owner_values(orig)
+        )
+        if visibility is Visibility.SET_LOCAL:
+            conflict_slots &= csr.distinct_slot_mask(
+                csr.gather(a), csr.gather(b), csr.gather(orig), csr.gather(fr)
+            )
+        conflicts = csr.count_per_vertex(conflict_slots)
+        working = fr < 0
+        finalize = working & (conflicts <= self.tolerance)
+        rotate = working & ~finalize
+        new_a = np.where(finalize, 0, a)
+        new_b = np.where(rotate, (a + b) % self.q, b)
+        new_fr = np.where(finalize, round_index + 1, fr)
+        return (new_a, new_b, orig, new_fr)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final``: boolean finality mask over the state."""
+        return state[3] >= 0
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final``: decoded color array (scalar errors kept)."""
+        a, b, orig, fr = state
+        working = fr < 0
+        if bool(working.any()):
+            v = int(working.argmax())
+            raise ValueError(
+                "vertex has not finalized: %r"
+                % ((int(a[v]), int(b[v]), int(orig[v]), None),)
+            )
+        return b
+
+    def batch_to_scalar(self, state):
+        """The state as the scalar engine's internal color list."""
+        a, b, orig, fr = state
+        return [
+            (av, bv, ov, None if fv < 0 else fv)
+            for av, bv, ov, fv in zip(
+                a.tolist(), b.tolist(), orig.tolist(), fr.tolist()
+            )
+        ]
+
 
 def finalization_orientation(graph, internal_colors):
     """Orient intra-class edges towards the earlier-finalizing endpoint.

@@ -29,7 +29,7 @@ from repro.core.hybrid import ExactDeltaPlusOneHybrid
 from repro.core.reductions import StandardColorReduction
 from repro.defective.vertex import DefectiveLinialColoring
 from repro.linial.core import LinialColoring
-from repro.runtime.engine import ColoringEngine
+from repro.runtime.fast_engine import make_engine
 from repro.runtime.pipeline import ColoringPipeline
 
 __all__ = [
@@ -51,12 +51,17 @@ def _initial_id_coloring(graph):
 
 
 def delta_plus_one_coloring(
-    graph, initial_coloring=None, visibility=None, check_proper_each_round=False
+    graph,
+    initial_coloring=None,
+    visibility=None,
+    check_proper_each_round=False,
+    backend="auto",
 ):
     """Corollary 3.6: a locally-iterative (Delta+1)-coloring, O(Delta)+log* n.
 
     Returns the :class:`~repro.runtime.pipeline.PipelineResult`; the final
-    coloring uses colors in ``[0, Delta]``.
+    coloring uses colors in ``[0, Delta]``.  ``backend`` selects the engine
+    (see :func:`~repro.runtime.fast_engine.make_engine`).
     """
     if initial_coloring is None:
         initial_coloring = _initial_id_coloring(graph)
@@ -69,11 +74,16 @@ def delta_plus_one_coloring(
         in_palette_size=max(initial_coloring) + 1 if graph.n else 1,
         visibility=visibility,
         check_proper_each_round=check_proper_each_round,
+        backend=backend,
     )
 
 
 def delta_plus_one_exact_no_reduction(
-    graph, initial_coloring=None, visibility=None, check_proper_each_round=False
+    graph,
+    initial_coloring=None,
+    visibility=None,
+    check_proper_each_round=False,
+    backend="auto",
 ):
     """Section 7: exact (Delta+1)-coloring via the AG(p)/AG(N) hybrid."""
     if initial_coloring is None:
@@ -87,6 +97,7 @@ def delta_plus_one_exact_no_reduction(
         in_palette_size=max(initial_coloring) + 1 if graph.n else 1,
         visibility=visibility,
         check_proper_each_round=check_proper_each_round,
+        backend=backend,
     )
 
 
@@ -209,7 +220,11 @@ def _hpartition_completion(graph, class_of, num_classes):
 
 
 def one_plus_eps_delta_coloring(
-    graph, tolerance=None, initial_coloring=None, completion="orientation"
+    graph,
+    tolerance=None,
+    initial_coloring=None,
+    completion="orientation",
+    backend="auto",
 ):
     """Theorem 6.4 shape: proper O(Delta)-coloring in O(sqrt(Delta) + log* n).
 
@@ -233,7 +248,7 @@ def one_plus_eps_delta_coloring(
     if completion not in ("orientation", "hpartition"):
         raise ValueError("unknown completion backend %r" % completion)
 
-    engine = ColoringEngine(graph)
+    engine = make_engine(graph, backend=backend)
     stage_rounds = {}
 
     defective = DefectiveLinialColoring(tolerance)
@@ -268,7 +283,9 @@ def one_plus_eps_delta_coloring(
     return SublinearColoringResult(colors, palette_size, stage_rounds, out_degree_bound)
 
 
-def sublinear_delta_plus_one_coloring(graph, tolerance=None, initial_coloring=None):
+def sublinear_delta_plus_one_coloring(
+    graph, tolerance=None, initial_coloring=None, backend="auto"
+):
     """Theorem 6.4 shape, exact variant: finish with a standard reduction.
 
     The reduction from ``C * Delta`` to ``Delta + 1`` colors costs
@@ -276,9 +293,9 @@ def sublinear_delta_plus_one_coloring(graph, tolerance=None, initial_coloring=No
     see EXPERIMENTS.md for the honest accounting versus [22].
     """
     partial = one_plus_eps_delta_coloring(
-        graph, tolerance=tolerance, initial_coloring=initial_coloring
+        graph, tolerance=tolerance, initial_coloring=initial_coloring, backend=backend
     )
-    engine = ColoringEngine(graph)
+    engine = make_engine(graph, backend=backend)
     reduction = StandardColorReduction()
     run = engine.run(
         reduction, partial.colors, in_palette_size=partial.palette_size

@@ -13,7 +13,10 @@ This package is the "distributed network" the paper's algorithms run on:
 * :mod:`repro.runtime.pipeline` — stage composition (e.g. Linial then AG then
   standard reduction, Corollary 3.6),
 * :mod:`repro.runtime.metrics` — rounds / messages / bits accounting used for
-  the CONGEST and Bit-Round claims.
+  the CONGEST and Bit-Round claims,
+* :mod:`repro.runtime.csr` / :mod:`repro.runtime.fast_engine` — the optional
+  NumPy acceleration layer: CSR adjacency views and the vectorized
+  :class:`BatchColoringEngine`, selected through :func:`make_engine`.
 
 The engine structurally enforces the locally-iterative contract: a vertex's
 ``step`` receives only its own color and the collection of neighbor colors.
@@ -22,6 +25,7 @@ The engine structurally enforces the locally-iterative contract: a vertex's
 from repro.runtime.graph import StaticGraph, DynamicGraph
 from repro.runtime.algorithm import LocallyIterativeColoring, NetworkInfo
 from repro.runtime.engine import ColoringEngine, RunResult, Visibility
+from repro.runtime.fast_engine import BatchColoringEngine, batch_supported, make_engine
 from repro.runtime.pipeline import ColoringPipeline, PipelineResult
 from repro.runtime.metrics import RoundMetrics, MetricsLog
 
@@ -31,6 +35,9 @@ __all__ = [
     "LocallyIterativeColoring",
     "NetworkInfo",
     "ColoringEngine",
+    "BatchColoringEngine",
+    "make_engine",
+    "batch_supported",
     "RunResult",
     "Visibility",
     "ColoringPipeline",

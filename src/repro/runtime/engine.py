@@ -59,11 +59,14 @@ class RunResult:
         self.rounds_used = rounds_used
         self.metrics = metrics
         self.history = history
+        self._num_colors = None
 
     @property
     def num_colors(self):
-        """Distinct decoded colors in the final coloring."""
-        return len(set(self.int_colors))
+        """Distinct decoded colors in the final coloring (memoized)."""
+        if self._num_colors is None:
+            self._num_colors = len(set(self.int_colors))
+        return self._num_colors
 
     def to_dict(self):
         """JSON-serializable summary (history omitted; colors decoded)."""

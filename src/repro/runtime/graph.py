@@ -31,7 +31,7 @@ class StaticGraph:
         paper).  Defaults to the vertex index itself.
     """
 
-    __slots__ = ("n", "_adjacency", "_edges", "ids", "_id_set")
+    __slots__ = ("n", "_adjacency", "_edges", "ids", "_id_set", "_max_degree", "_csr")
 
     def __init__(self, n, edges, ids=None):
         if n < 0:
@@ -52,6 +52,10 @@ class StaticGraph:
         self.n = n
         self._adjacency = tuple(tuple(sorted(neighbors)) for neighbors in adjacency)
         self._edges = tuple(sorted(edge_set))
+        self._max_degree = max(
+            (len(neighbors) for neighbors in self._adjacency), default=0
+        )
+        self._csr = None
         if ids is None:
             self.ids = tuple(range(n))
         else:
@@ -119,10 +123,26 @@ class StaticGraph:
 
     @property
     def max_degree(self):
-        """Return the maximum degree ``Delta`` (0 for the empty graph)."""
-        if self.n == 0:
-            return 0
-        return max(len(neighbors) for neighbors in self._adjacency)
+        """Return the maximum degree ``Delta`` (0 for the empty graph).
+
+        Cached at construction — the engine and every stage's ``configure``
+        query it repeatedly, and the graph is immutable.
+        """
+        return self._max_degree
+
+    def csr(self):
+        """Return the cached :class:`~repro.runtime.csr.CSRAdjacency` view.
+
+        Built lazily on first use and cached for the lifetime of the graph
+        (the graph is immutable, so the arrays never go stale).  Requires
+        NumPy (the ``repro[fast]`` extra); raises :class:`RuntimeError` with
+        an install hint when it is missing.
+        """
+        if self._csr is None:
+            from repro.runtime.csr import CSRAdjacency
+
+            self._csr = CSRAdjacency.from_graph(self)
+        return self._csr
 
     def has_edge(self, u, v):
         """Return True iff ``(u, v)`` is an edge."""

@@ -12,7 +12,7 @@ stage's constructor wants nothing but the pipeline should build a fresh one
 per run).
 """
 
-from repro.runtime.engine import ColoringEngine
+from repro.runtime.fast_engine import make_engine
 
 __all__ = ["PipelineResult", "ColoringPipeline"]
 
@@ -107,15 +107,23 @@ class ColoringPipeline:
         visibility=None,
         check_proper_each_round=False,
         record_history=False,
+        backend="auto",
     ):
-        """Run every stage in order and return a :class:`PipelineResult`."""
+        """Run every stage in order and return a :class:`PipelineResult`.
+
+        ``backend`` selects the engine (see
+        :func:`~repro.runtime.fast_engine.make_engine`): ``"auto"`` uses the
+        vectorized batch engine when NumPy is available, falling back to the
+        scalar path per-stage; ``"batch"`` / ``"reference"`` force a side.
+        """
         kwargs = {
             "check_proper_each_round": check_proper_each_round,
             "record_history": record_history,
+            "backend": backend,
         }
         if visibility is not None:
             kwargs["visibility"] = visibility
-        engine = ColoringEngine(graph, **kwargs)
+        engine = make_engine(graph, **kwargs)
 
         colors = list(initial_coloring)
         palette = in_palette_size
