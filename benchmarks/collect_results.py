@@ -48,6 +48,7 @@ ORDER = [
     "E-APPS",
     "E-SCALE",
     "E-ENGINE",
+    "E-PIPELINE",
 ]
 
 

@@ -69,3 +69,57 @@ class StandardColorReduction(LocallyIterativeColoring):
         # A color below the target can still be *kept*, but never changed, so
         # once every vertex is below the target the run may stop.
         return color < self.target
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: the current color as a single int64 array.  Only the acting
+    # color class does any work: a boolean occupancy matrix (one row per
+    # acting vertex, one column per color in [0, target)) is scattered
+    # straight from the CSR neighborhood, and the smallest missing color is
+    # an argmin over it.  Membership in the taken set ignores multiplicity,
+    # so the kernel is identical in LOCAL and SET-LOCAL.
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial`` (identity, like the scalar path)."""
+        return (initial,)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: recolor the acting class off an occupancy matrix."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        (colors,) = state
+        acting_color = self.start_palette - 1 - round_index
+        if acting_color < self.target:
+            return state
+        acting = colors == acting_color
+        count = int(acting.sum())
+        if count == 0:
+            return state
+        compact = np.cumsum(acting) - 1
+        occupied = np.zeros((count, self.target), dtype=bool)
+        slot_sel = acting[csr.rows]
+        neighbor = csr.gather(colors)[slot_sel]
+        owner = compact[csr.rows[slot_sel]]
+        in_target = (neighbor >= 0) & (neighbor < self.target)
+        occupied[owner[in_target], neighbor[in_target]] = True
+        if bool(occupied.all(axis=1).any()):
+            raise AssertionError(
+                "no free color among %d for a vertex with <= Delta = %d neighbors"
+                % (self.target, self.info.max_degree)
+            )
+        new_colors = colors.copy()
+        new_colors[acting] = np.argmin(occupied, axis=1)
+        return (new_colors,)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final``: below-target colors can never change."""
+        return state[0] < self.target
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final`` (identity, like the scalar path)."""
+        return state[0]
+
+    def batch_to_scalar(self, state):
+        """The state as the scalar engine's plain-int color list."""
+        return state[0].tolist()

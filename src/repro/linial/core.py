@@ -11,7 +11,12 @@ The single-iteration primitive :func:`linial_next_color` is shared by:
 """
 
 from repro.linial.plan import linial_plan
-from repro.mathutil.gf import eval_poly_mod, int_to_poly_coeffs
+from repro.mathutil.gf import (
+    batch_eval_points,
+    batch_poly_coeffs,
+    eval_poly_mod,
+    int_to_poly_coeffs,
+)
 from repro.runtime.algorithm import LocallyIterativeColoring
 
 __all__ = ["linial_next_color", "LinialColoring"]
@@ -88,3 +93,94 @@ class LinialColoring(LocallyIterativeColoring):
         return linial_next_color(
             color, neighbor_colors, iteration.q, iteration.degree
         )
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: the current color as a single int64 array.  Each round encodes
+    # all n colors as one base-q coefficient matrix, evaluates every
+    # candidate point with a Vandermonde-style modular matmul, and picks each
+    # vertex's smallest conflict-free point with a masked scatter over the
+    # CSR neighborhood.  The conflict test is pure existence over *distinct*
+    # neighbor colors, so the kernel is identical in LOCAL and SET-LOCAL.
+
+    # Evaluation points are processed in small blocks: almost every vertex
+    # succeeds within the first few points, so the (2m x block) comparison
+    # never materializes the full (2m x q) conflict matrix.
+    _POINT_BLOCK = 16
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial`` (identity, like the scalar path)."""
+        return (initial,)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: one planned Linial iteration for all vertices."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        (colors,) = state
+        if round_index >= len(self.plan):
+            return state
+        iteration = self.plan[round_index]
+        q, degree = iteration.q, iteration.degree
+        limit = q ** (degree + 1)
+        out_of_field = colors < 0
+        if limit < (1 << 62):
+            out_of_field |= colors >= limit
+        if bool(out_of_field.any()):
+            self._raise_like_scalar(round_index, colors, csr, visibility)
+        coeffs = batch_poly_coeffs(colors, degree, q)
+        n = csr.n
+        new_colors = np.empty(n, dtype=np.int64)
+        pending = np.ones(n, dtype=bool)
+        distinct = csr.gather(colors) != csr.owner_values(colors)
+        # Only distinct-colored neighbors can ever conflict; slice them once.
+        distinct_rows = csr.rows[distinct]
+        distinct_nbrs = csr.indices[distinct]
+        for first in range(0, q, self._POINT_BLOCK):
+            xs = np.arange(first, min(first + self._POINT_BLOCK, q), dtype=np.int64)
+            values = batch_eval_points(coeffs, xs, q)
+            for j in range(xs.size):
+                # Re-select per point: pending collapses after the first few
+                # points, so later columns gather almost nothing.
+                slot_sel = pending[distinct_rows]
+                rows = distinct_rows[slot_sel]
+                column = values[:, j]
+                conflict = np.zeros(n, dtype=bool)
+                if rows.size:
+                    agree = column[distinct_nbrs[slot_sel]] == column[rows]
+                    conflict[rows[agree]] = True
+                free = pending & ~conflict
+                new_colors[free] = int(xs[j]) * q + column[free]
+                pending &= conflict
+                if not bool(pending.any()):
+                    break
+            if not bool(pending.any()):
+                break
+        if bool(pending.any()):
+            # Some vertex has no conflict-free point (under-sized field).
+            self._raise_like_scalar(round_index, colors, csr, visibility)
+        return (new_colors,)
+
+    def _raise_like_scalar(self, round_index, colors, csr, visibility):
+        """Replay the round through the scalar step to raise its exact error."""
+        from repro.runtime.fast_engine import scalar_replay_round
+
+        scalar_replay_round(self, round_index, colors.tolist(), csr, visibility)
+        raise AssertionError(
+            "batch Linial kernel rejected a round the scalar step accepts"
+        )
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final`` (never final, like the scalar path)."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        return np.zeros(state[0].shape[0], dtype=bool)
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final`` (identity, like the scalar path)."""
+        return state[0]
+
+    def batch_to_scalar(self, state):
+        """The state as the scalar engine's plain-int color list."""
+        return state[0].tolist()

@@ -11,7 +11,13 @@ encoding injective for ``c < q^(d+1)`` and computable with O(1) words of
 memory (as the paper notes at the end of Section 3).
 """
 
-__all__ = ["int_to_poly_coeffs", "eval_poly_mod", "GFPolynomial"]
+__all__ = [
+    "int_to_poly_coeffs",
+    "eval_poly_mod",
+    "batch_poly_coeffs",
+    "batch_eval_points",
+    "GFPolynomial",
+]
 
 
 def int_to_poly_coeffs(value: int, degree: int, q: int) -> tuple:
@@ -51,6 +57,46 @@ def eval_poly_mod(coeffs, x: int, q: int) -> int:
     for coeff in reversed(coeffs):
         result = (result * x + coeff) % q
     return result
+
+
+def batch_poly_coeffs(values, degree, q):
+    """Base-``q`` digit matrix of an int64 color array (NumPy batch helper).
+
+    Row ``v`` of the result is ``int_to_poly_coeffs(values[v], degree, q)``:
+    shape ``(len(values), degree + 1)``, low-order digits first.  Callers
+    must pre-validate ``0 <= values < q**(degree + 1)``; this is the
+    vectorized encoder behind the batch Linial kernel, so it assumes NumPy
+    is importable (the batch path never runs without it).
+    """
+    import numpy as np
+
+    values = np.asarray(values, dtype=np.int64)
+    coeffs = np.empty((values.shape[0], degree + 1), dtype=np.int64)
+    remaining = values.copy()
+    for position in range(degree + 1):
+        coeffs[:, position] = remaining % q
+        remaining //= q
+    return coeffs
+
+
+def batch_eval_points(coeffs, points, q):
+    """Evaluate every row polynomial at every point mod ``q`` (NumPy helper).
+
+    ``result[v, j] == eval_poly_mod(coeffs[v], points[j], q)``, computed as
+    one Vandermonde-style matmul ``coeffs @ [x^row mod q] mod q``.  Products
+    are bounded by ``(degree + 1) * q**2``, well inside int64 for every field
+    the Linial planner can emit.
+    """
+    import numpy as np
+
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    points = np.asarray(points, dtype=np.int64) % q
+    vandermonde = np.empty((coeffs.shape[1], points.shape[0]), dtype=np.int64)
+    if coeffs.shape[1]:
+        vandermonde[0] = 1
+    for row in range(1, coeffs.shape[1]):
+        vandermonde[row] = vandermonde[row - 1] * points % q
+    return coeffs @ vandermonde % q
 
 
 class GFPolynomial:

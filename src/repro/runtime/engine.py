@@ -51,6 +51,10 @@ class RunResult:
     history:
         Per-round list of internal colorings (only if recording was enabled);
         ``history[0]`` is the encoded initial coloring.
+    int_colors_array:
+        ``int_colors`` as an int64 NumPy array when the run came off the
+        vectorized batch path, ``None`` otherwise.  Pipelines use it to keep
+        the color vector an ndarray across stage boundaries.
     """
 
     def __init__(self, colors, int_colors, rounds_used, metrics, history):
@@ -59,6 +63,7 @@ class RunResult:
         self.rounds_used = rounds_used
         self.metrics = metrics
         self.history = history
+        self.int_colors_array = None
         self._num_colors = None
 
     @property
@@ -189,6 +194,11 @@ class ColoringEngine:
                 history.append(list(colors))
             if self.check_proper_each_round and stage.maintains_proper:
                 self._assert_proper(colors, round_index)
+            if changed == 0 and stage.uniform_step:
+                # Fixed point of a round-independent rule: every later round
+                # would repeat this no-op verbatim, so stop.  The batch
+                # engine applies the identical early exit.
+                break
 
         int_colors = [stage.decode_final(c) for c in colors]
         out = stage.out_palette_size

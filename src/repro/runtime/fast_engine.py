@@ -44,7 +44,13 @@ from repro.runtime.csr import numpy_available, numpy_or_none
 from repro.runtime.engine import ColoringEngine, RunResult, Visibility
 from repro.runtime.metrics import MetricsLog, RoundMetrics
 
-__all__ = ["BatchColoringEngine", "make_engine", "batch_supported", "BACKENDS"]
+__all__ = [
+    "BatchColoringEngine",
+    "make_engine",
+    "batch_supported",
+    "scalar_replay_round",
+    "BACKENDS",
+]
 
 BACKENDS = ("auto", "batch", "reference")
 
@@ -52,6 +58,28 @@ BACKENDS = ("auto", "batch", "reference")
 def batch_supported(stage):
     """True iff ``stage`` implements the batch protocol."""
     return hasattr(stage, "step_batch")
+
+
+def scalar_replay_round(stage, round_index, colors, csr, visibility):
+    """Re-run one round through the scalar ``step`` to surface its exact error.
+
+    Batch kernels call this when they detect a state the scalar path would
+    reject (an input color outside the field, no conflict-free point, ...):
+    replaying the vertices in vertex order raises the same exception, from
+    the same vertex, with the same message as the reference engine.  Returns
+    silently if no scalar call raises — the caller then reports the
+    batch/scalar inconsistency itself.
+
+    ``colors`` is the round-start coloring as a plain list of scalar internal
+    colors; adjacency comes from the ``csr`` view.
+    """
+    indptr = csr.indptr.tolist()
+    indices = csr.indices.tolist()
+    for v in range(csr.n):
+        view = tuple(colors[u] for u in indices[indptr[v]:indptr[v + 1]])
+        if visibility is Visibility.SET_LOCAL:
+            view = frozenset(view)
+        stage.step(round_index, colors[v], view)
 
 
 def make_engine(
@@ -111,6 +139,10 @@ class BatchColoringEngine(ColoringEngine):
     ):
         """Execute ``stage``; see :meth:`ColoringEngine.run` for the contract."""
         if not batch_supported(stage) or not numpy_available():
+            if hasattr(initial_coloring, "tolist"):
+                # An ndarray handed over by a batch-aware pipeline; the
+                # scalar path wants plain Python ints.
+                initial_coloring = initial_coloring.tolist()
             return super().run(
                 stage,
                 initial_coloring,
@@ -129,13 +161,15 @@ class BatchColoringEngine(ColoringEngine):
         graph = self.graph
         if len(initial_coloring) != graph.n:
             raise ValueError("initial coloring must assign a color to every vertex")
+        # No list round-trip: an ndarray from an upstream batch stage is used
+        # as-is, a plain sequence is converted once.
+        initial = np.asarray(initial_coloring, dtype=np.int64)
         if in_palette_size is None:
-            in_palette_size = (max(initial_coloring) + 1) if graph.n else 1
+            in_palette_size = (int(initial.max()) + 1) if graph.n else 1
         if configure:
             stage.configure(NetworkInfo(graph.n, graph.max_degree, in_palette_size))
 
         csr = graph.csr()
-        initial = np.asarray(list(initial_coloring), dtype=np.int64)
         state = stage.batch_encode_initial(initial)
         metrics = MetricsLog()
         history = [self._to_scalar(stage, state)] if self.record_history else None
@@ -164,6 +198,11 @@ class BatchColoringEngine(ColoringEngine):
                 history.append(self._to_scalar(stage, state))
             if self.check_proper_each_round and stage.maintains_proper:
                 self._assert_proper_batch(stage, state, csr, round_index)
+            if changed == 0 and stage.uniform_step:
+                # Fixed point of a round-independent rule: every later round
+                # would repeat this no-op verbatim, so stop.  The reference
+                # engine applies the identical early exit.
+                break
 
         decoded = stage.batch_decode_final(state)
         int_colors = decoded.tolist()
@@ -176,7 +215,11 @@ class BatchColoringEngine(ColoringEngine):
                 % (v, int_colors[v], out, stage.name)
             )
         colors = self._to_scalar(stage, state)
-        return RunResult(colors, int_colors, rounds_used, metrics, history)
+        result = RunResult(colors, int_colors, rounds_used, metrics, history)
+        # Batch-aware pipelines chain this array into the next stage without
+        # round-tripping through the decoded Python list.
+        result.int_colors_array = decoded
+        return result
 
     @staticmethod
     def _to_scalar(stage, state):

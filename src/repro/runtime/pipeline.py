@@ -115,6 +115,12 @@ class ColoringPipeline:
         :func:`~repro.runtime.fast_engine.make_engine`): ``"auto"`` uses the
         vectorized batch engine when NumPy is available, falling back to the
         scalar path per-stage; ``"batch"`` / ``"reference"`` force a side.
+
+        The run is batch-aware end-to-end: when a stage executes on the
+        vectorized path its decoded int64 array feeds the next stage directly
+        (no round-trip through the Python color list), the graph's cached CSR
+        view is shared by every stage, and a stage that falls back to the
+        scalar path transparently receives a plain list again.
         """
         kwargs = {
             "check_proper_each_round": check_proper_each_round,
@@ -125,16 +131,31 @@ class ColoringPipeline:
             kwargs["visibility"] = visibility
         engine = make_engine(graph, **kwargs)
 
-        colors = list(initial_coloring)
+        # Lists pass through uncopied (stages never mutate their input) and
+        # ndarrays go straight to the batch engine; only other sequence types
+        # need materializing.
+        colors = initial_coloring
+        if not isinstance(colors, list) and not hasattr(colors, "tolist"):
+            colors = list(colors)
         palette = in_palette_size
         if palette is None:
-            palette = (max(colors) + 1) if colors else 1
+            # Only scan for the maximum when the caller did not tell us.
+            if len(colors) == 0:
+                palette = 1
+            elif hasattr(colors, "max"):
+                palette = int(colors.max()) + 1
+            else:
+                palette = max(colors) + 1
 
         stage_results = []
         for stage_or_factory in self._stages:
             stage = self._materialize(stage_or_factory)
             result = engine.run(stage, colors, in_palette_size=palette)
             stage_results.append((stage, result))
-            colors = result.int_colors
+            colors = (
+                result.int_colors_array
+                if result.int_colors_array is not None
+                else result.int_colors
+            )
             palette = stage.out_palette_size
-        return PipelineResult(colors, stage_results)
+        return PipelineResult(stage_results[-1][1].int_colors, stage_results)

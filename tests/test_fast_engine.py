@@ -21,7 +21,9 @@ from repro.core import (
     ThreeDimensionalAG,
 )
 from repro.core.pipeline import delta_plus_one_coloring
+from repro.core.reductions import StandardColorReduction
 from repro.errors import PaletteOverflowError
+from repro.linial.core import LinialColoring
 from repro.runtime import (
     BatchColoringEngine,
     ColoringEngine,
@@ -94,6 +96,8 @@ DIFFERENTIAL_STAGES = [
     ("agn", AdditiveGroupZN, spread_small_coloring),
     ("arb-ag-p1", lambda: ArbAGColoring(1), proper_identity_coloring),
     ("arb-ag-p3", lambda: ArbAGColoring(3), proper_identity_coloring),
+    ("linial", LinialColoring, proper_identity_coloring),
+    ("standard-reduction", StandardColorReduction, spread_small_coloring),
 ]
 
 
@@ -221,9 +225,11 @@ def test_batch_supported_detection():
     assert batch_supported(ThreeDimensionalAG())
     assert batch_supported(AdditiveGroupZN())
     assert batch_supported(ArbAGColoring(1))
-    from repro.core.reductions import StandardColorReduction
+    assert batch_supported(LinialColoring())
+    assert batch_supported(StandardColorReduction())
+    from repro.defective.vertex import DefectiveLinialColoring
 
-    assert not batch_supported(StandardColorReduction())
+    assert not batch_supported(DefectiveLinialColoring(1))
 
 
 def test_make_engine_reference_backend():
@@ -247,10 +253,10 @@ def test_make_engine_auto_prefers_batch():
 
 
 def test_make_engine_auto_falls_back_for_unsupported_stage():
-    from repro.core.reductions import StandardColorReduction
+    from repro.defective.vertex import DefectiveLinialColoring
 
     graph = graphgen.path_graph(4)
-    engine = make_engine(graph, stages=[StandardColorReduction()])
+    engine = make_engine(graph, stages=[DefectiveLinialColoring(1)])
     assert type(engine) is ColoringEngine
 
 

@@ -59,6 +59,25 @@ class TestPlan:
     def test_already_small_palette_gives_empty_plan(self):
         assert linial_plan(10, 10) == []
 
+    def test_plan_is_memoized(self):
+        from repro.linial.plan import _plan_cached
+
+        _plan_cached.cache_clear()
+        first = linial_plan(10 ** 6, 10)
+        before = _plan_cached.cache_info()
+        second = linial_plan(10 ** 6, 10)
+        after = _plan_cached.cache_info()
+        assert after.hits == before.hits + 1
+        # Fresh list per call (callers may extend it), shared iteration
+        # objects underneath (the primality search ran once).
+        assert first is not second
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_plan_copies_are_independent(self):
+        first = linial_plan(10 ** 4, 5)
+        first.append("sentinel")
+        assert "sentinel" not in linial_plan(10 ** 4, 5)
+
 
 class TestStep:
     def test_distinct_from_neighbors(self):
