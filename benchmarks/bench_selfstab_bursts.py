@@ -13,8 +13,8 @@ from bench_util import report
 from repro.selfstab import (
     FaultCampaign,
     SelfStabColoring,
-    SelfStabEngine,
     SelfStabExactColoring,
+    make_selfstab_engine,
 )
 from repro.selfstab.lowmem import SelfStabColoringConstantMemory
 
@@ -36,8 +36,12 @@ def run_bursts():
             ("o1-mem", SelfStabColoringConstantMemory),
         ):
             g = build_dynamic(N, DELTA, 0.2, seed=17)
+            # The dispatcher picks batch kernels where supported and falls
+            # back to the scalar engine for the O(1)-memory variant; the
+            # row[4] == row[2] assertion below holds because both backends
+            # are bit-identical.
             algorithm = factory(N, DELTA)
-            engine = SelfStabEngine(g, algorithm)
+            engine = make_selfstab_engine(g, algorithm)
             engine.run_to_quiescence()
             campaign = FaultCampaign(seed=int(fraction * 100))
             rounds = 0

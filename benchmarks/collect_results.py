@@ -49,6 +49,7 @@ ORDER = [
     "E-SCALE",
     "E-ENGINE",
     "E-PIPELINE",
+    "E-SELFSTAB-SPEED",
 ]
 
 

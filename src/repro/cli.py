@@ -176,7 +176,11 @@ def _cmd_selfstab(args, out):
     import random
 
     from repro.runtime.graph import DynamicGraph
-    from repro.selfstab import FaultCampaign, SelfStabEngine, SelfStabExactColoring
+    from repro.selfstab import (
+        FaultCampaign,
+        SelfStabExactColoring,
+        make_selfstab_engine,
+    )
 
     rng = random.Random(args.seed)
     graph = DynamicGraph(args.n, args.delta)
@@ -192,7 +196,7 @@ def _cmd_selfstab(args, out):
                 graph.add_edge(u, v)
 
     algorithm = SelfStabExactColoring(args.n, args.delta)
-    engine = SelfStabEngine(graph, algorithm)
+    engine = make_selfstab_engine(graph, algorithm, backend=args.backend)
     rounds = engine.run_to_quiescence()
     out.write("cold start: stabilized in %d rounds (bound budget %d)\n"
               % (rounds, algorithm.stabilization_bound()))
@@ -278,6 +282,13 @@ def build_parser():
     selfstab.add_argument("--bursts", type=int, default=3)
     selfstab.add_argument("--corruptions", type=int, default=10)
     selfstab.add_argument("--churn", type=int, default=0)
+    selfstab.add_argument(
+        "--backend",
+        choices=["auto", "batch", "reference"],
+        default="auto",
+        help="self-stabilization engine backend: auto picks the vectorized "
+        "NumPy engine when available",
+    )
     selfstab.set_defaults(func=_cmd_selfstab)
 
     return parser

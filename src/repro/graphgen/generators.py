@@ -12,8 +12,7 @@ chromatic structure makes test assertions sharp.
 import math
 import random
 
-import networkx as nx
-
+from repro.runtime.csr import numpy_or_none
 from repro.runtime.graph import StaticGraph
 
 __all__ = [
@@ -120,22 +119,153 @@ def random_tree(n, seed):
     return StaticGraph(n, edges)
 
 
+# The NumPy fast paths below continue the seed's exact MT19937 stream:
+# CPython's random.Random and numpy's RandomState share the generator and
+# the 53-bit double recipe, so transplanting the 624-word state produces
+# bit-identical draws — and therefore bit-identical graphs — with and
+# without NumPy (REPRO_DISABLE_NUMPY flips between them in CI).
+
+
+def _np_rng(rng, np):
+    """A RandomState continuing ``rng``'s MT19937 stream exactly."""
+    internal = rng.getstate()[1]
+    state = np.random.RandomState()
+    state.set_state(
+        ("MT19937", np.array(internal[:-1], dtype=np.uint32), internal[-1])
+    )
+    return state
+
+
+def _np_rng_sync_back(rng, np_state):
+    """Hand the stream back so later scalar draws continue where NumPy left off."""
+    _, key, pos = np_state.get_state()[:3]
+    rng.setstate((3, tuple(int(word) for word in key) + (pos,), None))
+
+
+# Per-block draw cap for the G(n, p) fast path (32 MB of doubles).
+_GNP_BLOCK = 1 << 22
+
+
 def gnp_graph(n, p, seed):
     """Erdos–Renyi G(n, p)."""
     rng = random.Random(seed)
-    edges = [
-        (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p
-    ]
+    np = numpy_or_none()
+    if np is None:
+        edges = [
+            (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p
+        ]
+        return StaticGraph(n, edges)
+    state = _np_rng(rng, np)
+    edges = []
+    start_row = 0
+    while start_row < n - 1:
+        # Rows [start_row, end_row): one uniform draw per pair (i, j), j > i,
+        # in the scalar loop's row-major order.
+        end_row = start_row
+        count = 0
+        while end_row < n - 1 and count + (n - 1 - end_row) <= _GNP_BLOCK:
+            count += n - 1 - end_row
+            end_row += 1
+        if end_row == start_row:  # a single row exceeding the block cap
+            end_row += 1
+            count = n - 1 - start_row
+        lengths = np.arange(n - 1 - start_row, n - 1 - end_row, -1, dtype=np.int64)
+        starts = np.zeros(end_row - start_row, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        hits = np.nonzero(state.random_sample(count) < p)[0]
+        if hits.size:
+            row_idx = np.searchsorted(starts, hits, side="right") - 1
+            i_arr = row_idx + start_row
+            j_arr = i_arr + 1 + (hits - starts[row_idx])
+            edges.extend(zip(i_arr.tolist(), j_arr.tolist()))
+        start_row = end_row
     return StaticGraph(n, edges)
 
 
 def random_regular(n, d, seed):
-    """Random d-regular graph (networkx configuration-model based).
+    """Random d-regular graph: seeded stub matching plus switch repair.
 
-    ``n * d`` must be even and ``d < n``.
+    ``n * d`` must be even and ``0 <= d < n``.  Shuffles the ``n * d`` vertex
+    stubs with one uniform key per stub, pairs them up, then repairs
+    self-loops and duplicate edges with random degree-preserving switches
+    (each commit strictly shrinks the defect set).  The key draws and the
+    stable sort are vectorized under NumPy; the repair phase is shared, so
+    the graph is identical in both modes.
     """
-    nx_graph = nx.random_regular_graph(d, n, seed=seed)
-    return StaticGraph.from_networkx(nx_graph)
+    if n * d % 2:
+        raise ValueError("n * d must be even for a d-regular graph")
+    if not 0 <= d < n:
+        raise ValueError("need 0 <= d < n (got d=%d, n=%d)" % (d, n))
+    if d == 0:
+        return StaticGraph(n, [])
+    if d == n - 1:
+        return complete_graph(n)
+    rng = random.Random(seed)
+    stub_count = n * d
+    np = numpy_or_none()
+    if np is None:
+        keys = [rng.random() for _ in range(stub_count)]
+        order = sorted(range(stub_count), key=keys.__getitem__)
+        owners = [stub // d for stub in order]
+    else:
+        state = _np_rng(rng, np)
+        keys = state.random_sample(stub_count)
+        _np_rng_sync_back(rng, state)
+        owners = (np.argsort(keys, kind="stable") // d).tolist()
+    npairs = stub_count // 2
+    pairs = [(owners[2 * t], owners[2 * t + 1]) for t in range(npairs)]
+
+    def norm(u, v):
+        return (u, v) if u < v else (v, u)
+
+    counts = {}
+    for u, v in pairs:
+        if u != v:
+            key = norm(u, v)
+            counts[key] = counts.get(key, 0) + 1
+    stack = [
+        t
+        for t in range(npairs - 1, -1, -1)
+        if pairs[t][0] == pairs[t][1] or counts[norm(*pairs[t])] > 1
+    ]
+    attempts = 0
+    limit = 200 * npairs + 1000
+    while stack:
+        t = stack.pop()
+        u, v = pairs[t]
+        if u != v and counts[norm(u, v)] == 1:
+            continue  # healed by an earlier switch
+        while True:
+            attempts += 1
+            if attempts > limit:
+                raise RuntimeError(
+                    "random_regular(%d, %d, seed=%r) failed to repair the "
+                    "stub matching" % (n, d, seed)
+                )
+            s = rng.randrange(npairs)
+            if s == t:
+                continue
+            x, y = pairs[s]
+            # Switch (u, v), (x, y) -> (u, y), (x, v) when it stays simple.
+            if u == y or x == v:
+                continue
+            if u != v:
+                counts[norm(u, v)] -= 1
+            if x != y:
+                counts[norm(x, y)] -= 1
+            new_a, new_b = norm(u, y), norm(x, v)
+            if new_a != new_b and not counts.get(new_a) and not counts.get(new_b):
+                counts[new_a] = 1
+                counts[new_b] = 1
+                pairs[t] = (u, y)
+                pairs[s] = (x, v)
+                break
+            if u != v:
+                counts[norm(u, v)] += 1
+            if x != y:
+                counts[norm(x, y)] += 1
+    edges = sorted(key for key, count in counts.items() if count)
+    return StaticGraph(n, edges)
 
 
 def bounded_degree_random(n, delta, target_edges, seed):

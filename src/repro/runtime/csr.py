@@ -105,6 +105,47 @@ class CSRAdjacency:
             edge_v = np.zeros(0, dtype=np.int64)
         return cls(n, len(edges), indptr, indices, rows, degrees, edge_u, edge_v)
 
+    @classmethod
+    def from_dynamic(cls, graph):
+        """Compact CSR over a :class:`~repro.runtime.graph.DynamicGraph`.
+
+        Dynamic graphs have an arbitrary present subset of ``range(n_bound)``,
+        so the view is *compacted*: CSR vertex ``i`` is the ``i``-th smallest
+        present vertex.  Returns ``(csr, vertices)`` where ``vertices`` is the
+        ``int64`` array mapping compact index back to the original vertex id.
+        The view is a snapshot — the batch self-stabilization engine rebuilds
+        it once per topology epoch (crash / spawn / rewire), not per round.
+        """
+        from itertools import chain
+
+        np = _require_numpy()
+        verts = graph.vertices()
+        n = len(verts)
+        verts_arr = np.asarray(verts, dtype=np.int64)
+        degrees = np.fromiter(
+            (graph.degree(v) for v in verts), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        raw = np.fromiter(
+            chain.from_iterable(graph.neighbors(v) for v in verts),
+            dtype=np.int64,
+            count=total,
+        )
+        # verts is sorted, so searchsorted *is* the original-id -> compact-id
+        # map; neighbors() is sorted by original id and the map is monotone,
+        # so each compact neighbor list comes out sorted too.
+        indices = np.searchsorted(verts_arr, raw)
+        rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        # Each edge appears once with compact u < v, in row-major order —
+        # the same lexicographic order graph.edges() would yield.
+        forward = rows < indices
+        edge_u = rows[forward]
+        edge_v = indices[forward]
+        csr = cls(n, edge_u.size, indptr, indices, rows, degrees, edge_u, edge_v)
+        return csr, verts_arr
+
     # -- kernel building blocks -------------------------------------------------
 
     def gather(self, values):

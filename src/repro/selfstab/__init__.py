@@ -20,10 +20,18 @@ legal state within ``O(Delta + log* n)`` rounds:
 
 :mod:`repro.selfstab.engine` provides the synchronous engine with the fault
 API, quiescence detection, and adjustment-radius measurement;
-:mod:`repro.selfstab.adversary` provides seeded fault campaigns.
+:mod:`repro.selfstab.fast_engine` the vectorized drop-in engine and the
+``make_selfstab_engine`` backend dispatcher; and
+:mod:`repro.selfstab.adversary` seeded fault campaigns.
 """
 
 from repro.selfstab.engine import SelfStabAlgorithm, SelfStabEngine
+from repro.selfstab.fast_engine import (
+    BACKENDS,
+    BatchSelfStabEngine,
+    batch_supported,
+    make_selfstab_engine,
+)
 from repro.selfstab.plan import IntervalPlan
 from repro.selfstab.coloring import SelfStabColoring
 from repro.selfstab.exact import SelfStabExactColoring
@@ -35,6 +43,10 @@ from repro.selfstab.adversary import FaultCampaign
 __all__ = [
     "SelfStabAlgorithm",
     "SelfStabEngine",
+    "BatchSelfStabEngine",
+    "make_selfstab_engine",
+    "batch_supported",
+    "BACKENDS",
     "IntervalPlan",
     "SelfStabColoring",
     "SelfStabExactColoring",

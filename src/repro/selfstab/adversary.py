@@ -11,6 +11,12 @@ the standard attack patterns used by tests, benchmarks and examples:
 * edge churn (rewire links under the degree bound).
 
 Everything is driven by an explicit seed for reproducibility.
+
+All injection goes through the engine's ``corrupt`` fault API, so it is
+array-backed for free on a :class:`~repro.selfstab.fast_engine.
+BatchSelfStabEngine`: each corruption writes the encoded value straight
+into the RAM columns in place (no dict rebuild, no column re-encode), and
+topology churn invalidates the CSR view once per epoch, not per event.
 """
 
 import random
@@ -42,6 +48,19 @@ class FaultCampaign:
             else:
                 engine.corrupt(v, self._garbage())
             hit.append(v)
+        return hit
+
+    def corrupt_many(self, engine, assignments):
+        """Apply an explicit ``{vertex: ram}`` burst through the fault API.
+
+        Deterministic (consumes no randomness); useful for replaying a
+        recorded burst against several engines.  On a batch engine each
+        write lands in the RAM columns in place.
+        """
+        hit = []
+        for vertex, ram in sorted(assignments.items()):
+            engine.corrupt(vertex, ram)
+            hit.append(vertex)
         return hit
 
     def _garbage(self):

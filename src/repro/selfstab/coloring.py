@@ -20,12 +20,18 @@ radius is 1 (Theorem 4.3's argument).
 
 from repro.linial.core import linial_next_color
 from repro.selfstab.engine import SelfStabAlgorithm
+from repro.selfstab.kernels import (
+    ColorBatchOps,
+    apply_upper_descent,
+    batch_levels,
+    masked_point_search,
+)
 from repro.selfstab.plan import IntervalPlan
 
 __all__ = ["SelfStabColoring"]
 
 
-class SelfStabColoring(SelfStabAlgorithm):
+class SelfStabColoring(ColorBatchOps, SelfStabAlgorithm):
     """Self-stabilizing proper ``Q``-coloring, ``Q = O(Delta)`` prime."""
 
     name = "selfstab-coloring"
@@ -118,6 +124,106 @@ class SelfStabColoring(SelfStabAlgorithm):
         a, b = divmod(local, q)
         return (a * q + (b + a) % q, b)
 
+    # -- batch protocol (see repro.selfstab.fast_engine) -------------------------
+    #
+    # One int64 column per vertex holding the global color.  Check-Error is a
+    # CSR equality scatter; each interval's Mod-Linial descent is a masked
+    # point search over a base-q digit matrix (the LinialColoring kernel
+    # shape); the landing step adds the Excl-Linial forbidden scatter over
+    # precomputed rotate/finalize candidates of I_0 neighbors; the AG core is
+    # pure elementwise arithmetic.  All rules are existence-based, so the
+    # kernel is identical in LOCAL and SET-LOCAL.
+
+    def _np_offsets(self, np):
+        arr = self.__dict__.get("_offsets_arr")
+        if arr is None:
+            arr = np.asarray(self.plan.offsets, dtype=np.int64)
+            self._offsets_arr = arr
+        return arr
+
+    def transition_batch_colors(self, colors, ctx):
+        """Vectorized ``transition`` over the whole color column."""
+        np, csr = ctx.np, ctx.csr
+        plan, q = self.plan, self.q
+        offsets = plan.offsets
+        levels = batch_levels(colors, plan, self._np_offsets(np), np)
+        new = np.empty(colors.shape[0], dtype=np.int64)
+
+        # Check-Error: invalid or conflicting colors reset to the ID slot.
+        conflict = csr.any_per_vertex(csr.gather(colors) == csr.owner_values(colors))
+        reset = (levels < 0) | conflict
+        if bool(reset.any()):
+            new[reset] = offsets[plan.levels - 1] + ctx.vertices[reset]
+        active = ~reset
+        slot_levels = levels[csr.indices]
+
+        apply_upper_descent(new, colors, levels, slot_levels, active, plan, ctx)
+
+        mask1 = active & (levels == 1)
+        if bool(mask1.any()):
+            self._batch_land(new, colors, mask1, slot_levels, ctx)
+
+        mask0 = active & (levels == 0)
+        if bool(mask0.any()):
+            # The uniform AG step, elementwise.  offsets[0] == 0, so the
+            # core-local value is the color itself.
+            a, b = colors // q, colors % q
+            smask = mask0[csr.rows] & (slot_levels == 0)
+            owner_rows = csr.rows[smask]
+            hit = colors[csr.indices[smask]] % q == b[owner_rows]
+            core_conflict = np.zeros(colors.shape[0], dtype=bool)
+            core_conflict[owner_rows[hit]] = True
+            stepped = np.where(core_conflict, a * q + (b + a) % q, b)
+            new[mask0] = stepped[mask0]
+        return new
+
+    def _batch_land(self, new, colors, mask1, slot_levels, ctx):
+        """Excl-Linial landing (I_1 -> I_0) with the forbidden set S'."""
+        np, csr = ctx.np, ctx.csr
+        plan, q = self.plan, self.q
+        off1 = plan.offsets[1]
+        sub = np.nonzero(mask1)[0]
+        inv = np.empty(colors.shape[0], dtype=np.int64)
+        inv[sub] = np.arange(sub.size, dtype=np.int64)
+        locals_ = colors[sub] - off1
+
+        smask = mask1[csr.rows] & (slot_levels == 1)
+        owner_rows = csr.rows[smask]
+        nbr_locals = colors[csr.indices[smask]] - off1
+        keep = nbr_locals != colors[owner_rows] - off1
+
+        # Rotate/finalize candidates of each I_0 neighbor (the set S').
+        cmask = mask1[csr.rows] & (slot_levels == 0)
+        core_rows = inv[csr.rows[cmask]]
+        core_locals = colors[csr.indices[cmask]]  # offsets[0] == 0
+        core_a, core_b = core_locals // q, core_locals % q
+        rotate = core_a * q + (core_b + core_a) % q
+        finalize = core_b
+
+        def forbidden(cand, pending):
+            hit = np.zeros(sub.size, dtype=bool)
+            sel = pending[core_rows]
+            rows = core_rows[sel]
+            if rows.size:
+                match = (rotate[sel] == cand[rows]) | (finalize[sel] == cand[rows])
+                hit[rows[match]] = True
+            return hit
+
+        result = masked_point_search(
+            locals_,
+            q,
+            2,
+            q,
+            inv[owner_rows[keep]],
+            nbr_locals[keep],
+            lambda x, values: x * q + values,
+            forbidden,
+            np,
+        )
+        if result is None:
+            ctx.replay()
+        new[sub] = plan.offsets[0] + result
+
     def is_legal(self, graph, rams):
         """Proper coloring with every color finalized in the AG core."""
         offset = self.plan.offsets[0]
@@ -132,6 +238,19 @@ class SelfStabColoring(SelfStabAlgorithm):
                 if rams[u] == rams[v]:
                     return False
         return True
+
+    def batch_is_legal(self, state, csr, np):
+        """Vectorized :meth:`is_legal` over canonical columns.
+
+        Finalized core states are exactly ``offset <= c < offset + q``
+        (level 0 and ``a == 0``), so the scalar predicate collapses to a
+        range check plus edge-wise properness.
+        """
+        (colors,) = state
+        local = colors - self.plan.offsets[0]
+        if not bool(((local >= 0) & (local < self.q)).all()):
+            return False
+        return not bool((colors[csr.edge_u] == colors[csr.edge_v]).any())
 
     def final_colors(self, graph, rams):
         """Extract the ``[0, Q)`` palette colors from a legal state."""

@@ -30,6 +30,13 @@ class SelfStabAlgorithm(ABC):
 
     name = "selfstab"
 
+    # Whether this algorithm implements the batch protocol consumed by
+    # repro.selfstab.fast_engine (batch_encode / transition_batch / ...).
+    # Subclasses that override `transition` without providing matching batch
+    # kernels (e.g. the constant-memory variants) must leave this False so
+    # the batch engine falls back to the scalar step for them.
+    batch_transitions = False
+
     def __init__(self, n_bound, delta_bound):
         self.n_bound = n_bound
         self.delta_bound = delta_bound

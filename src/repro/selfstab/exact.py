@@ -29,13 +29,19 @@ possible next state.
 
 from repro.mathutil.gf import eval_poly_mod, int_to_poly_coeffs
 from repro.selfstab.engine import SelfStabAlgorithm
+from repro.selfstab.kernels import (
+    ColorBatchOps,
+    apply_upper_descent,
+    batch_levels,
+    masked_point_search,
+)
 from repro.selfstab.plan import IntervalPlan
 from repro.linial.core import linial_next_color
 
 __all__ = ["SelfStabExactColoring"]
 
 
-class SelfStabExactColoring(SelfStabAlgorithm):
+class SelfStabExactColoring(ColorBatchOps, SelfStabAlgorithm):
     """Self-stabilizing proper (Delta+1)-coloring, O(Delta + log* n) rounds."""
 
     name = "selfstab-exact-coloring"
@@ -185,6 +191,166 @@ class SelfStabExactColoring(SelfStabAlgorithm):
         new_state = self._core_step(self._decode_core(local), core_neighbors)
         return plan.to_global(0, self._encode_core(new_state))
 
+    # -- batch protocol (see repro.selfstab.fast_engine) -------------------------
+    #
+    # Same column layout and descent kernel as SelfStabColoring; only the
+    # landing encoder/forbidden set (high-range Excl-Linial over the <= 2
+    # next states of each core neighbor) and the level-0 machine (the
+    # decoded high/low hybrid, elementwise) differ.
+
+    def _np_offsets(self, np):
+        arr = self.__dict__.get("_offsets_arr")
+        if arr is None:
+            arr = np.asarray(self.plan.offsets, dtype=np.int64)
+            self._offsets_arr = arr
+        return arr
+
+    def transition_batch_colors(self, colors, ctx):
+        """Vectorized ``transition`` over the whole color column."""
+        np, csr = ctx.np, ctx.csr
+        plan = self.plan
+        levels = batch_levels(colors, plan, self._np_offsets(np), np)
+        new = np.empty(colors.shape[0], dtype=np.int64)
+
+        conflict = csr.any_per_vertex(csr.gather(colors) == csr.owner_values(colors))
+        reset = (levels < 0) | conflict
+        if bool(reset.any()):
+            new[reset] = plan.offsets[plan.levels - 1] + ctx.vertices[reset]
+        active = ~reset
+        slot_levels = levels[csr.indices]
+
+        apply_upper_descent(new, colors, levels, slot_levels, active, plan, ctx)
+
+        mask1 = active & (levels == 1)
+        if bool(mask1.any()):
+            self._batch_land(new, colors, mask1, slot_levels, ctx)
+
+        mask0 = active & (levels == 0)
+        if bool(mask0.any()):
+            self._batch_core(new, colors, mask0, slot_levels, ctx)
+        return new
+
+    def _batch_core_options(self, core_locals, np):
+        """Per-value next-state options: ``(opt1, opt2, has2)`` core-locals.
+
+        Vectorized ``_core_candidates``: low working states may rotate or
+        finalize; high states may rotate or (when their ``a`` encodes a low
+        state) land on it — and both low encodings collapse to the value
+        ``a`` itself.  Final low states have a single (fixed) option.
+        """
+        n, p = self.n_colors, self.p
+        two_n = 2 * n
+        is_low = core_locals < two_n
+        low_b = core_locals // n
+        low_a = core_locals % n
+        high_j = core_locals - two_n
+        high_b = high_j // p + 1
+        high_a = high_j % p
+        opt1 = np.where(
+            is_low,
+            np.where(low_b == 0, core_locals, n + (low_a + 1) % n),
+            two_n + (high_b - 1) * p + (high_a + high_b) % p,
+        )
+        has2 = np.where(is_low, low_b == 1, high_a < two_n)
+        opt2 = np.where(is_low, low_a, high_a)
+        return opt1, opt2, has2
+
+    def _batch_land(self, new, colors, mask1, slot_levels, ctx):
+        """Excl-Linial landing into the high range: state (H, x+1, P_v(x))."""
+        np, csr = ctx.np, ctx.csr
+        plan, p = self.plan, self.p
+        two_n = 2 * self.n_colors
+        off1 = plan.offsets[1]
+        sub = np.nonzero(mask1)[0]
+        inv = np.empty(colors.shape[0], dtype=np.int64)
+        inv[sub] = np.arange(sub.size, dtype=np.int64)
+        locals_ = colors[sub] - off1
+
+        smask = mask1[csr.rows] & (slot_levels == 1)
+        owner_rows = csr.rows[smask]
+        nbr_locals = colors[csr.indices[smask]] - off1
+        keep = nbr_locals != colors[owner_rows] - off1
+
+        cmask = mask1[csr.rows] & (slot_levels == 0)
+        core_rows = inv[csr.rows[cmask]]
+        opt1, opt2, has2 = self._batch_core_options(
+            colors[csr.indices[cmask]], np  # offsets[0] == 0
+        )
+
+        def forbidden(cand, pending):
+            hit = np.zeros(sub.size, dtype=bool)
+            sel = pending[core_rows]
+            rows = core_rows[sel]
+            if rows.size:
+                match = (opt1[sel] == cand[rows]) | (
+                    has2[sel] & (opt2[sel] == cand[rows])
+                )
+                hit[rows[match]] = True
+            return hit
+
+        result = masked_point_search(
+            locals_,
+            p,
+            2,
+            p - 1,  # keep b = x + 1 inside [1, p - 1]
+            inv[owner_rows[keep]],
+            nbr_locals[keep],
+            lambda x, values: two_n + x * p + values,
+            forbidden,
+            np,
+        )
+        if result is None:
+            ctx.replay()
+        new[sub] = plan.offsets[0] + result
+
+    def _batch_core(self, new, colors, mask0, slot_levels, ctx):
+        """The extended high/low hybrid step, elementwise over the core."""
+        np, csr = ctx.np, ctx.csr
+        n, p = self.n_colors, self.p
+        two_n = 2 * n
+        # offsets[0] == 0: core-local values are the colors themselves.
+        is_low = colors < two_n
+        low_b = colors // n
+        low_a = colors % n
+        high_j = colors - two_n
+        high_b = high_j // p + 1
+        high_a = high_j % p
+        own_a = np.where(is_low, low_a, high_a)
+
+        smask = mask0[csr.rows] & (slot_levels == 0)
+        owner_rows = csr.rows[smask]
+        nb = colors[csr.indices[smask]]
+        nb_is_low = nb < two_n
+        nb_b = nb // n
+        nb_a = np.where(nb_is_low, nb % n, (nb - two_n) % p)
+        own_low_s = is_low[owner_rows]
+        same_a = nb_a == own_a[owner_rows]
+        conflict_slot = np.where(
+            own_low_s,
+            nb_is_low & same_a,
+            (~nb_is_low & same_a) | (nb_is_low & (nb_b == 0) & same_a),
+        )
+        size = colors.shape[0]
+        conflict = np.zeros(size, dtype=bool)
+        conflict[owner_rows[conflict_slot]] = True
+        low_working = np.zeros(size, dtype=bool)
+        low_working[owner_rows[nb_is_low & (nb_b == 1)]] = True
+
+        stepped = np.where(
+            is_low,
+            np.where(
+                low_b == 0,
+                colors,
+                np.where(conflict, n + (low_a + 1) % n, low_a),
+            ),
+            np.where(
+                conflict | low_working | (high_a >= two_n),
+                two_n + (high_b - 1) * p + (high_a + high_b) % p,
+                high_a,  # both low landings encode to the value a itself
+            ),
+        )
+        new[mask0] = stepped[mask0]
+
     def is_legal(self, graph, rams):
         """Proper (Delta+1)-coloring: every vertex in a final low state."""
         offset = self.plan.offsets[0]
@@ -200,6 +366,19 @@ class SelfStabExactColoring(SelfStabAlgorithm):
                 if rams[u] == rams[v]:
                     return False
         return True
+
+    def batch_is_legal(self, state, csr, np):
+        """Vectorized :meth:`is_legal` over canonical columns.
+
+        Final low states ('L', 0, a) are exactly
+        ``offset <= c < offset + N``, so the scalar predicate collapses to a
+        range check plus edge-wise properness.
+        """
+        (colors,) = state
+        local = colors - self.plan.offsets[0]
+        if not bool(((local >= 0) & (local < self.n_colors)).all()):
+            return False
+        return not bool((colors[csr.edge_u] == colors[csr.edge_v]).any())
 
     def final_colors(self, graph, rams):
         """Colors in ``[0, Delta]`` from a legal state."""

@@ -16,8 +16,8 @@ the underlying :class:`~repro.selfstab.engine.SelfStabEngine`.
 
 from repro.runtime.graph import DynamicGraph
 from repro.selfstab.coloring import SelfStabColoring
-from repro.selfstab.engine import SelfStabEngine
 from repro.selfstab.exact import SelfStabExactColoring
+from repro.selfstab.fast_engine import make_selfstab_engine
 from repro.selfstab.mis import SelfStabMIS
 
 __all__ = ["LineGraphMirror", "SelfStabMaximalMatching", "SelfStabEdgeColoring"]
@@ -97,11 +97,13 @@ class _LineProtocol:
     *is* the virtual vertex's new state.
     """
 
-    def __init__(self, base, algorithm):
+    def __init__(self, base, algorithm, backend="auto"):
         self.base = base
         self.mirror = LineGraphMirror(base)
         self.algorithm = algorithm
-        self.engine = SelfStabEngine(self.mirror.line, algorithm)
+        self.engine = make_selfstab_engine(
+            self.mirror.line, algorithm, backend=backend
+        )
         # Pending desyncs of the greater endpoint's copy, healed next round.
         self._secondary_desyncs = {}
         self.sync_topology()
@@ -157,10 +159,10 @@ class SelfStabMaximalMatching(_LineProtocol):
     further).
     """
 
-    def __init__(self, base):
+    def __init__(self, base, backend="auto"):
         mirror_probe = LineGraphMirror(base)
         algorithm = SelfStabMIS(mirror_probe.n_bound, mirror_probe.delta_bound)
-        super().__init__(base, algorithm)
+        super().__init__(base, algorithm, backend=backend)
 
     def matching(self):
         """The matched base edges of the current (legal) state."""
@@ -176,7 +178,7 @@ class SelfStabEdgeColoring(_LineProtocol):
     colors and a smaller constant round count.
     """
 
-    def __init__(self, base, exact=True, constant_memory=False):
+    def __init__(self, base, exact=True, constant_memory=False, backend="auto"):
         mirror_probe = LineGraphMirror(base)
         if constant_memory:
             from repro.selfstab.lowmem import (
@@ -192,7 +194,7 @@ class SelfStabEdgeColoring(_LineProtocol):
         else:
             factory = SelfStabExactColoring if exact else SelfStabColoring
         algorithm = factory(mirror_probe.n_bound, mirror_probe.delta_bound)
-        super().__init__(base, algorithm)
+        super().__init__(base, algorithm, backend=backend)
 
     def edge_colors(self):
         """``{(u, v): color}`` of the current (legal) state."""

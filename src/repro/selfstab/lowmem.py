@@ -38,6 +38,9 @@ class SelfStabColoringConstantMemory(SelfStabColoring):
     """Drop-in SelfStabColoring whose transition is workspace-metered."""
 
     name = "selfstab-coloring-o1-memory"
+    # The point of this variant is the metered scalar transition: opting out
+    # of the batch kernels keeps the workspace meter accurate.
+    batch_transitions = False
 
     def __init__(self, n_bound, delta_bound, bit_limit=None):
         super().__init__(n_bound, delta_bound)
@@ -188,6 +191,7 @@ class SelfStabExactColoringConstantMemory(SelfStabExactColoring):
     """
 
     name = "selfstab-exact-coloring-o1-memory"
+    batch_transitions = False
 
     def __init__(self, n_bound, delta_bound, bit_limit=None):
         super().__init__(n_bound, delta_bound)

@@ -21,12 +21,53 @@ extended hybrid core (exactly ``Delta + 1`` colors, Theorem 7.5); they share
 this plan, differing in the ``I_0`` size and the landing rule.
 """
 
+from functools import lru_cache
+
 from repro.linial.plan import integer_root_ceiling, linial_plan
 from repro.mathutil.primes import next_prime_at_least
 
 __all__ = ["IntervalPlan"]
 
 _LANDING_DEGREE = 2
+
+
+@lru_cache(maxsize=None)
+def _interval_layout(n_bound, delta_bound, core_size):
+    """Memoized interval layout: ``(iterations, sizes, offsets)`` as tuples.
+
+    Every selfstab algorithm (and every engine the benchmarks construct)
+    rebuilds its plan from the same ``(n_bound, delta_bound)`` ROM pair, and
+    the Linial cascade behind it is the expensive part (prime searches).
+    Mirrors the ``linial_plan`` memoization: the cache holds immutable
+    tuples; :class:`IntervalPlan` copies them into fresh lists so public
+    callers can never alias or mutate cached state.
+    """
+    iterations = linial_plan(max(2, n_bound), delta_bound)
+    sizes = [core_size]  # I_0
+    if iterations:
+        sizes.append(iterations[-1].out_palette)  # I_1
+        for it in reversed(iterations):
+            sizes.append(it.in_palette)  # I_2 .. I_r (I_r = ID space)
+    else:
+        sizes.append(max(2, n_bound))  # I_1 = ID space directly
+    offsets = []
+    total = 0
+    for size in sizes:
+        offsets.append(total)
+        total += size
+    return tuple(iterations), tuple(sizes), tuple(offsets)
+
+
+@lru_cache(maxsize=None)
+def _landing_field(delta_bound, i1_size, extra_floor):
+    d = _LANDING_DEGREE
+    floor = max(
+        d * delta_bound + 2 * delta_bound + 2,
+        integer_root_ceiling(max(2, i1_size), d + 1),
+        extra_floor,
+        2,
+    )
+    return next_prime_at_least(floor)
 
 
 class IntervalPlan:
@@ -56,22 +97,15 @@ class IntervalPlan:
         self.landing_points = landing_points
 
         # Standard Linial cascade from the ID space down to its fixpoint,
-        # which becomes I_1.
-        self.iterations = linial_plan(max(2, n_bound), delta_bound)
-        sizes = [core_size]  # I_0
-        if self.iterations:
-            sizes.append(self.iterations[-1].out_palette)  # I_1
-            for it in reversed(self.iterations):
-                sizes.append(it.in_palette)  # I_2 .. I_r (I_r = ID space)
-        else:
-            sizes.append(max(2, n_bound))  # I_1 = ID space directly
-        self.sizes = sizes
-        self.offsets = []
-        total = 0
-        for size in sizes:
-            self.offsets.append(total)
-            total += size
-        self.total_size = total
+        # which becomes I_1.  The layout is memoized (see _interval_layout);
+        # copy it into fresh lists so callers can never mutate cached state.
+        iterations, sizes, offsets = _interval_layout(
+            n_bound, delta_bound, core_size
+        )
+        self.iterations = list(iterations)
+        self.sizes = list(sizes)
+        self.offsets = list(offsets)
+        self.total_size = offsets[-1] + sizes[-1] if sizes else 0
         self.levels = len(sizes)  # r + 1
 
         d = _LANDING_DEGREE
@@ -128,15 +162,8 @@ class IntervalPlan:
 
     @classmethod
     def landing_field_for(cls, delta_bound, i1_size, extra_floor=0):
-        """Smallest prime with enough points and encoding capacity."""
-        d = _LANDING_DEGREE
-        floor = max(
-            d * delta_bound + 2 * delta_bound + 2,
-            integer_root_ceiling(max(2, i1_size), d + 1),
-            extra_floor,
-            2,
-        )
-        return next_prime_at_least(floor)
+        """Smallest prime with enough points and encoding capacity (memoized)."""
+        return _landing_field(delta_bound, i1_size, extra_floor)
 
     def __repr__(self):
         return "IntervalPlan(levels=%d, total=%d, core=%d, landing_q=%d)" % (

@@ -146,7 +146,7 @@ class TestTutorialCode:
 class TestCautionaryCounterexample:
     def test_lazy_ag_violates_properness_as_documented(self):
         """The tutorial's exact failure: the engine catches the collision."""
-        graph = graphgen.random_regular(48, 6, seed=1)
+        graph = graphgen.random_regular(48, 6, seed=3)
         engine = ColoringEngine(graph, check_proper_each_round=True)
         with pytest.raises(ImproperColoringError):
             engine.run(LazyAG(), list(range(graph.n)))

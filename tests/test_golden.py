@@ -34,19 +34,19 @@ class TestGoldenOutputs:
     def test_pipeline_on_seeded_regular_graph(self):
         graph = random_regular(24, 4, seed=7)
         result = delta_plus_one_coloring(graph)
-        assert result.total_rounds == 9
+        assert result.total_rounds == 8
         assert result.colors == [
-            0, 1, 2, 3, 4, 2, 2, 0, 1, 0, 0, 1,
-            2, 3, 3, 1, 2, 1, 1, 0, 1, 0, 4, 3,
+            0, 1, 2, 3, 4, 1, 1, 2, 0, 1, 0, 0,
+            2, 2, 3, 4, 0, 1, 1, 3, 3, 0, 2, 3,
         ]
 
     def test_exact_pipeline_on_seeded_regular_graph(self):
         graph = random_regular(24, 4, seed=7)
         result = delta_plus_one_exact_no_reduction(graph)
-        assert result.total_rounds == 8
+        assert result.total_rounds == 9
         assert result.colors == [
-            0, 1, 2, 3, 4, 0, 1, 4, 4, 0, 2, 1,
-            2, 3, 3, 1, 0, 1, 3, 2, 4, 3, 4, 3,
+            0, 1, 2, 3, 4, 0, 1, 2, 3, 1, 1, 0,
+            2, 2, 3, 4, 1, 1, 4, 3, 4, 0, 2, 3,
         ]
 
     def test_edge_coloring_on_small_cycle(self):
