@@ -3,12 +3,20 @@
 Run after ``pytest benchmarks/ --benchmark-only``:
 
     python benchmarks/collect_results.py
+    python benchmarks/collect_results.py --check-regressions   # + perf gate
+
+``--check-regressions`` additionally runs the bench regression gate
+(:mod:`check_regression`) in smoke mode against the committed
+``BENCH_*.json`` baselines, appends its verdict to the report, and exits
+non-zero if any regression is found.
 
 Produces ``benchmarks/results/REPORT.md`` with every experiment table in
 DESIGN.md's index order.
 """
 
+import argparse
 import os
+import sys
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -81,13 +89,39 @@ def collect(results_dir=RESULTS_DIR):
     return "\n\n".join(["\n".join(header)] + sections) + "\n"
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-regressions",
+        action="store_true",
+        help="run the bench regression gate (smoke mode) and append its "
+        "verdict to the report; non-zero exit on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="fractional drift allowed by the regression gate (default 0.5)",
+    )
+    args = parser.parse_args(argv)
     text = collect()
+    failures = []
+    if args.check_regressions:
+        import check_regression
+
+        failures, verdict = check_regression.run_checks(
+            tolerance=args.tolerance, smoke=True
+        )
+        text += "\n## Bench regression gate\n\n```\n" + verdict.rstrip() + "\n```\n"
     out_path = os.path.join(RESULTS_DIR, "REPORT.md")
     with open(out_path, "w") as handle:
         handle.write(text)
     print("wrote %s (%d bytes)" % (out_path, len(text)))
+    if failures:
+        print("regression gate FAILED (%d failures)" % len(failures))
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -22,7 +22,7 @@ Quickstart::
     print(result.total_rounds, "rounds")
 """
 
-from repro import analysis, apps, arboricity, bitround, graphgen, lowmem, trace
+from repro import analysis, apps, arboricity, bitround, graphgen, lowmem, obs, trace
 from repro.core import (
     AdditiveGroupColoring,
     AdditiveGroupZN,

@@ -4,15 +4,18 @@ Examples::
 
     repro-coloring color --family regular --n 96 --degree 8 --algorithm exact
     repro-coloring color --family gnp --n 80 --prob 0.1 --set-local
+    repro-coloring color --n 2000 --degree 32 --telemetry run.jsonl
     repro-coloring edge-color --family regular --n 64 --degree 6
     repro-coloring mis --family grid --rows 8 --cols 9
     repro-coloring selfstab --n 40 --delta 6 --corruptions 12 --churn 2
+    repro-coloring obs summary run.jsonl
 """
 
 import argparse
+import contextlib
 import sys
 
-from repro import graphgen
+from repro import graphgen, obs
 from repro.analysis import (
     is_maximal_independent_set,
     is_maximal_matching,
@@ -66,22 +69,41 @@ def _build_graph(args):
     raise ValueError("unknown family %r" % args.family)
 
 
+@contextlib.contextmanager
+def _telemetry_sink(args, out):
+    """Collect telemetry for one command when ``--telemetry PATH`` is given.
+
+    Installs a live collector around the command body, then writes the JSONL
+    event stream (plus the aggregate snapshot line) to the requested path.
+    """
+    path = getattr(args, "telemetry", None)
+    if not path:
+        yield
+        return
+    with obs.capture() as telemetry:
+        yield
+    lines = obs.write_jsonl(telemetry, path)
+    if not getattr(args, "json", False):
+        out.write("telemetry: wrote %d records to %s\n" % (lines, path))
+
+
 def _cmd_color(args, out):
     graph = _build_graph(args)
     visibility = Visibility.SET_LOCAL if args.set_local else None
-    if args.algorithm == "cor36":
-        result = delta_plus_one_coloring(
-            graph, visibility=visibility, backend=args.backend
-        )
-        colors, rounds = result.colors, result.rounds_by_stage()
-    elif args.algorithm == "exact":
-        result = delta_plus_one_exact_no_reduction(
-            graph, visibility=visibility, backend=args.backend
-        )
-        colors, rounds = result.colors, result.rounds_by_stage()
-    else:  # sublinear
-        result = one_plus_eps_delta_coloring(graph, backend=args.backend)
-        colors, rounds = result.colors, result.stage_rounds
+    with _telemetry_sink(args, out):
+        if args.algorithm == "cor36":
+            result = delta_plus_one_coloring(
+                graph, visibility=visibility, backend=args.backend
+            )
+            colors, rounds = result.colors, result.rounds_by_stage()
+        elif args.algorithm == "exact":
+            result = delta_plus_one_exact_no_reduction(
+                graph, visibility=visibility, backend=args.backend
+            )
+            colors, rounds = result.colors, result.rounds_by_stage()
+        else:  # sublinear
+            result = one_plus_eps_delta_coloring(graph, backend=args.backend)
+            colors, rounds = result.colors, result.stage_rounds
     assert is_proper_coloring(graph, colors)
     if args.json:
         import json
@@ -150,7 +172,7 @@ def _cmd_trace(args, out):
         ExactDeltaPlusOneHybrid,
         ThreeDimensionalAG,
     )
-    from repro.runtime import ColoringEngine
+    from repro.runtime import make_engine
     from repro.trace import format_trace, trace_run
 
     graph = _build_graph(args)
@@ -158,7 +180,7 @@ def _cmd_trace(args, out):
     palette = graph.n
     if args.stage == "hybrid":
         # The hybrid wants a near-(2 Delta)-sized palette: AG first.
-        engine = ColoringEngine(graph)
+        engine = make_engine(graph, backend=args.backend)
         ag = AdditiveGroupColoring()
         pre = engine.run(ag, initial)
         initial, palette = pre.int_colors, ag.out_palette_size
@@ -167,7 +189,9 @@ def _cmd_trace(args, out):
         stage = ThreeDimensionalAG()
     else:
         stage = AdditiveGroupColoring()
-    trace = trace_run(graph, stage, initial, in_palette_size=palette)
+    trace = trace_run(
+        graph, stage, initial, in_palette_size=palette, backend=args.backend
+    )
     out.write(format_trace(trace, graph, title="%s stage" % args.stage) + "\n")
     return 0
 
@@ -197,20 +221,37 @@ def _cmd_selfstab(args, out):
 
     algorithm = SelfStabExactColoring(args.n, args.delta)
     engine = make_selfstab_engine(graph, algorithm, backend=args.backend)
-    rounds = engine.run_to_quiescence()
-    out.write("cold start: stabilized in %d rounds (bound budget %d)\n"
-              % (rounds, algorithm.stabilization_bound()))
-    campaign = FaultCampaign(args.seed)
-    for burst in range(args.bursts):
-        campaign.corrupt_random_rams(engine, args.corruptions)
-        if args.churn:
-            campaign.churn_edges(engine, removals=args.churn, additions=args.churn)
+    with _telemetry_sink(args, out):
         rounds = engine.run_to_quiescence()
-        out.write("burst %d: re-stabilized in %d rounds (legal: %s)\n"
-                  % (burst + 1, rounds, engine.is_legal()))
+        out.write("cold start: stabilized in %d rounds (bound budget %d)\n"
+                  % (rounds, algorithm.stabilization_bound()))
+        campaign = FaultCampaign(args.seed)
+        for burst in range(args.bursts):
+            campaign.corrupt_random_rams(engine, args.corruptions)
+            if args.churn:
+                campaign.churn_edges(engine, removals=args.churn, additions=args.churn)
+            rounds = engine.run_to_quiescence()
+            out.write("burst %d: re-stabilized in %d rounds (legal: %s)\n"
+                      % (burst + 1, rounds, engine.is_legal()))
     colors = algorithm.final_colors(graph, engine.rams)
     palette = (max(colors.values()) + 1) if colors else 0
     out.write("final palette: %d <= Delta+1 = %d\n" % (palette, args.delta + 1))
+    return 0
+
+
+def _cmd_obs_summary(args, out):
+    records = obs.read_jsonl(args.path)
+    out.write(obs.summary_table(records))
+    return 0
+
+
+def _cmd_obs_prom(args, out):
+    records = obs.read_jsonl(args.path)
+    snapshots = [r for r in records if r.get("type") == "snapshot"]
+    if not snapshots:
+        out.write("no snapshot record in %s\n" % args.path)
+        return 1
+    out.write(obs.prometheus_text(snapshots[-1]))
     return 0
 
 
@@ -244,6 +285,12 @@ def build_parser():
     color.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
     )
+    color.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="collect structured telemetry for the run and write it as "
+        "JSONL to PATH (inspect with `repro-coloring obs summary PATH`)",
+    )
     color.set_defaults(func=_cmd_color)
 
     edge = sub.add_parser("edge-color", help="(2*Delta-1)-edge-coloring (CONGEST)")
@@ -272,6 +319,13 @@ def build_parser():
         default="ag",
         help="which AG-family stage to trace",
     )
+    trace.add_argument(
+        "--backend",
+        choices=["auto", "batch", "reference"],
+        default="auto",
+        help="engine backend used to record the trace (histories are "
+        "bit-for-bit identical across backends)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     selfstab = sub.add_parser("selfstab", help="self-stabilizing coloring demo")
@@ -289,7 +343,28 @@ def build_parser():
         help="self-stabilization engine backend: auto picks the vectorized "
         "NumPy engine when available",
     )
+    selfstab.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="collect structured telemetry for the demo and write it as "
+        "JSONL to PATH",
+    )
     selfstab.set_defaults(func=_cmd_selfstab)
+
+    obs_parser = sub.add_parser(
+        "obs", help="inspect telemetry JSONL files written by --telemetry"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="human-readable summary of a telemetry stream"
+    )
+    obs_summary.add_argument("path", help="telemetry JSONL file")
+    obs_summary.set_defaults(func=_cmd_obs_summary)
+    obs_prom = obs_sub.add_parser(
+        "prom", help="Prometheus text exposition of the aggregate snapshot"
+    )
+    obs_prom.add_argument("path", help="telemetry JSONL file")
+    obs_prom.set_defaults(func=_cmd_obs_prom)
 
     return parser
 

@@ -19,8 +19,10 @@ SET_LOCAL:
 """
 
 import enum
+import time
 
 from repro.errors import ImproperColoringError, PaletteOverflowError
+from repro.obs import core as obs
 from repro.runtime.algorithm import NetworkInfo
 from repro.runtime.metrics import MetricsLog, RoundMetrics
 
@@ -73,13 +75,17 @@ class RunResult:
             self._num_colors = len(set(self.int_colors))
         return self._num_colors
 
-    def to_dict(self):
-        """JSON-serializable summary (history omitted; colors decoded)."""
+    def to_dict(self, detail=True):
+        """JSON-serializable summary (history omitted; colors decoded).
+
+        ``detail`` is forwarded to :meth:`MetricsLog.to_dict`: pass False to
+        omit the per-round metric rows.
+        """
         return {
             "colors": list(self.int_colors),
             "rounds_used": self.rounds_used,
             "num_colors": self.num_colors,
-            "metrics": self.metrics.to_dict(),
+            "metrics": self.metrics.to_dict(detail=detail),
         }
 
     def __repr__(self):
@@ -170,6 +176,11 @@ class ColoringEngine:
         metrics = MetricsLog()
         history = [list(colors)] if self.record_history else None
 
+        tel = obs.active()
+        recording = tel.enabled
+        run_start = time.perf_counter() if recording else 0.0
+        round_rows = [] if recording else None
+
         if self.check_proper_each_round and stage.maintains_proper:
             self._assert_proper(colors, -1)
 
@@ -178,6 +189,8 @@ class ColoringEngine:
         for round_index in range(bound):
             if all(stage.is_final(colors[v]) for v in graph.vertices()):
                 break
+            if recording:
+                round_start = time.perf_counter()
             new_colors = [
                 stage.step(round_index, colors[v], self._neighborhood_view(colors, v))
                 for v in graph.vertices()
@@ -190,6 +203,20 @@ class ColoringEngine:
             metrics.record(RoundMetrics(round_index, messages, bits, changed))
             colors = new_colors
             rounds_used += 1
+            if recording:
+                round_rows.append(
+                    {
+                        "round": round_index,
+                        "messages": messages,
+                        "bits": bits,
+                        "changed": changed,
+                        "finalized": sum(1 for c in colors if stage.is_final(c)),
+                        "conflicts": sum(
+                            1 for u, v in graph.edges if colors[u] == colors[v]
+                        ),
+                        "seconds": time.perf_counter() - round_start,
+                    }
+                )
             if self.record_history:
                 history.append(list(colors))
             if self.check_proper_each_round and stage.maintains_proper:
@@ -208,4 +235,34 @@ class ColoringEngine:
                     "vertex %d got color %r outside palette of size %d (stage %s)"
                     % (v, c, out, stage.name)
                 )
+        if recording:
+            self._record_run(
+                tel, stage, "reference", in_palette_size, rounds_used, metrics,
+                round_rows, time.perf_counter() - run_start,
+            )
         return RunResult(colors, int_colors, rounds_used, metrics, history)
+
+    def _record_run(
+        self, tel, stage, backend, in_palette, rounds_used, metrics, round_rows,
+        wall_seconds,
+    ):
+        """Emit the per-run telemetry record (shared by both engine paths)."""
+        graph = self.graph
+        tel.event(
+            "engine.run",
+            stage=stage.name,
+            backend=backend,
+            n=graph.n,
+            m=graph.m,
+            delta=graph.max_degree,
+            in_palette=in_palette,
+            out_palette=stage.out_palette_size,
+            rounds_used=rounds_used,
+            total_messages=metrics.total_messages,
+            total_bits=metrics.total_bits,
+            rounds=round_rows,
+            wall_seconds=wall_seconds,
+        )
+        tel.counter("engine.runs", stage=stage.name)
+        tel.counter("engine.rounds", rounds_used, stage=stage.name)
+        tel.histogram("engine.run_seconds", wall_seconds, stage=stage.name)

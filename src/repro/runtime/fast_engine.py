@@ -38,7 +38,10 @@ Stages without ``step_batch`` simply fall back to the scalar path — a
 :func:`make_engine` is the front door that picks the best backend.
 """
 
+import time
+
 from repro.errors import ImproperColoringError, PaletteOverflowError
+from repro.obs import core as obs
 from repro.runtime.algorithm import NetworkInfo
 from repro.runtime.csr import numpy_available, numpy_or_none
 from repro.runtime.engine import ColoringEngine, RunResult, Visibility
@@ -139,6 +142,16 @@ class BatchColoringEngine(ColoringEngine):
     ):
         """Execute ``stage``; see :meth:`ColoringEngine.run` for the contract."""
         if not batch_supported(stage) or not numpy_available():
+            tel = obs.active()
+            if tel.enabled:
+                # Fallback-to-scalar is a first-class observability signal: a
+                # batch engine quietly running scalar rounds is the #1 way to
+                # lose an order of magnitude of throughput.
+                reason = (
+                    "no-step-batch" if not batch_supported(stage) else "no-numpy"
+                )
+                tel.counter("engine.fallback_scalar", stage=stage.name)
+                tel.event("engine.fallback", stage=stage.name, reason=reason)
             if hasattr(initial_coloring, "tolist"):
                 # An ndarray handed over by a batch-aware pipeline; the
                 # scalar path wants plain Python ints.
@@ -174,6 +187,11 @@ class BatchColoringEngine(ColoringEngine):
         metrics = MetricsLog()
         history = [self._to_scalar(stage, state)] if self.record_history else None
 
+        tel = obs.active()
+        recording = tel.enabled
+        run_start = time.perf_counter() if recording else 0.0
+        round_rows = [] if recording else None
+
         if self.check_proper_each_round and stage.maintains_proper:
             self._assert_proper_batch(stage, state, csr, -1)
 
@@ -182,6 +200,8 @@ class BatchColoringEngine(ColoringEngine):
         for round_index in range(bound):
             if bool(stage.batch_is_final(state).all()):
                 break
+            if recording:
+                round_start = time.perf_counter()
             new_state = stage.step_batch(round_index, state, csr, self.visibility)
             changed = 0
             if graph.n:
@@ -194,6 +214,18 @@ class BatchColoringEngine(ColoringEngine):
             metrics.record(RoundMetrics(round_index, messages, bits, changed))
             state = new_state
             rounds_used += 1
+            if recording:
+                round_rows.append(
+                    {
+                        "round": round_index,
+                        "messages": messages,
+                        "bits": bits,
+                        "changed": changed,
+                        "finalized": int(stage.batch_is_final(state).sum()),
+                        "conflicts": self._count_conflicts(np, csr, state),
+                        "seconds": time.perf_counter() - round_start,
+                    }
+                )
             if self.record_history:
                 history.append(self._to_scalar(stage, state))
             if self.check_proper_each_round and stage.maintains_proper:
@@ -215,11 +247,31 @@ class BatchColoringEngine(ColoringEngine):
                 % (v, int_colors[v], out, stage.name)
             )
         colors = self._to_scalar(stage, state)
+        if recording:
+            self._record_run(
+                tel, stage, "batch", in_palette_size, rounds_used, metrics,
+                round_rows, time.perf_counter() - run_start,
+            )
         result = RunResult(colors, int_colors, rounds_used, metrics, history)
         # Batch-aware pipelines chain this array into the next stage without
         # round-tripping through the decoded Python list.
         result.int_colors_array = decoded
         return result
+
+    @staticmethod
+    def _count_conflicts(np, csr, state):
+        """Edges whose endpoints hold identical internal colors (telemetry).
+
+        Component-wise equality over the state columns — for every stage
+        whose scalar colors are plain int tuples this matches the reference
+        engine's full-color comparison exactly.
+        """
+        if csr.m == 0:
+            return 0
+        equal = np.ones(csr.m, dtype=bool)
+        for component in state:
+            equal &= component[csr.edge_u] == component[csr.edge_v]
+        return int(equal.sum())
 
     @staticmethod
     def _to_scalar(stage, state):

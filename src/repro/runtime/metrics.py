@@ -69,13 +69,21 @@ class MetricsLog:
                 worst = max(worst, r.bits // r.messages)
         return worst
 
-    def to_dict(self):
-        """JSON-serializable summary (per-round detail included)."""
-        return {
+    def to_dict(self, detail=True):
+        """JSON-serializable summary.
+
+        With ``detail=True`` (default) the per-round rows are included; with
+        ``detail=False`` only the totals are emitted — large runs serialize
+        in O(1) instead of O(rounds), which is what CLI summaries and bench
+        records want.
+        """
+        summary = {
             "total_rounds": self.total_rounds,
             "total_messages": self.total_messages,
             "total_bits": self.total_bits,
-            "rounds": [
+        }
+        if detail:
+            summary["rounds"] = [
                 {
                     "round": r.round_index,
                     "messages": r.messages,
@@ -83,8 +91,8 @@ class MetricsLog:
                     "changed": r.changed_vertices,
                 }
                 for r in self.rounds
-            ],
-        }
+            ]
+        return summary
 
     def __repr__(self):
         return "MetricsLog(rounds=%d, messages=%d, bits=%d)" % (

@@ -12,6 +12,7 @@ stage's constructor wants nothing but the pipeline should build a fresh one
 per run).
 """
 
+from repro.obs import core as obs
 from repro.runtime.fast_engine import make_engine
 
 __all__ = ["PipelineResult", "ColoringPipeline"]
@@ -57,11 +58,17 @@ class PipelineResult:
         return {stage.name: result.rounds_used for stage, result in self.stage_results}
 
     def to_dict(self):
-        """JSON-serializable summary of the whole pipeline run."""
+        """JSON-serializable summary of the whole pipeline run.
+
+        Per-stage communication totals come from
+        ``MetricsLog.to_dict(detail=False)`` — totals only, no per-round
+        rows, so the payload stays O(stages) even for Delta-round runs.
+        """
         return {
             "colors": list(self.colors),
             "num_colors": self.num_colors,
             "total_rounds": self.total_rounds,
+            "total_messages": self.total_messages,
             "total_bits": self.total_bits,
             "stages": [
                 {
@@ -69,6 +76,7 @@ class PipelineResult:
                     "rounds": result.rounds_used,
                     "out_palette": stage.out_palette_size,
                     "bits": result.metrics.total_bits,
+                    "metrics": result.metrics.to_dict(detail=False),
                 }
                 for stage, result in self.stage_results
             ],
@@ -147,15 +155,52 @@ class ColoringPipeline:
             else:
                 palette = max(colors) + 1
 
+        tel = obs.active()
         stage_results = []
-        for stage_or_factory in self._stages:
-            stage = self._materialize(stage_or_factory)
-            result = engine.run(stage, colors, in_palette_size=palette)
-            stage_results.append((stage, result))
-            colors = (
-                result.int_colors_array
-                if result.int_colors_array is not None
-                else result.int_colors
+        with tel.span(
+            "pipeline.run", stages=len(self._stages), n=graph.n, m=graph.m
+        ):
+            for index, stage_or_factory in enumerate(self._stages):
+                stage = self._materialize(stage_or_factory)
+                with tel.span(
+                    "pipeline.stage", stage=stage.name, index=index
+                ) as stage_span:
+                    result = engine.run(stage, colors, in_palette_size=palette)
+                    stage_results.append((stage, result))
+                    colors = (
+                        result.int_colors_array
+                        if result.int_colors_array is not None
+                        else result.int_colors
+                    )
+                    if tel.enabled:
+                        stage_span.set(
+                            rounds=result.rounds_used,
+                            in_palette=palette,
+                            out_palette=stage.out_palette_size,
+                            handoff=(
+                                "ndarray"
+                                if result.int_colors_array is not None
+                                else "list"
+                            ),
+                        )
+                    palette = stage.out_palette_size
+        pipeline_result = PipelineResult(stage_results[-1][1].int_colors, stage_results)
+        if tel.enabled:
+            tel.event(
+                "pipeline.run",
+                stages=[
+                    {
+                        "name": stage.name,
+                        "rounds": result.rounds_used,
+                        "out_palette": stage.out_palette_size,
+                        "messages": result.metrics.total_messages,
+                        "bits": result.metrics.total_bits,
+                    }
+                    for stage, result in stage_results
+                ],
+                total_rounds=pipeline_result.total_rounds,
+                total_messages=pipeline_result.total_messages,
+                total_bits=pipeline_result.total_bits,
+                num_colors=pipeline_result.num_colors,
             )
-            palette = stage.out_palette_size
-        return PipelineResult(stage_results[-1][1].int_colors, stage_results)
+        return pipeline_result

@@ -14,9 +14,11 @@ here a legal fixed point never moves again) and *adjustment radius* (how far
 from the faults RAM changes propagate).
 """
 
+import time
 from abc import ABC, abstractmethod
 
 from repro.errors import NotStabilizedError
+from repro.obs import core as obs
 
 __all__ = ["SelfStabAlgorithm", "SelfStabEngine"]
 
@@ -92,6 +94,17 @@ class SelfStabEngine:
             raise ValueError("vertex %d is not present" % vertex)
         self.rams[vertex] = ram
         self._touched.add(vertex)
+        tel = obs.active()
+        if tel.enabled:
+            tel.counter("selfstab.corruptions", algorithm=self.algorithm.name)
+            tel.event("selfstab.corrupt", vertex=vertex)
+
+    def _record_topology_event(self, kind):
+        tel = obs.active()
+        if tel.enabled:
+            tel.counter(
+                "selfstab.topology_events", kind=kind, algorithm=self.algorithm.name
+            )
 
     def spawn_vertex(self, vertex):
         """Dynamic update: a vertex appears (with fresh RAM)."""
@@ -99,6 +112,7 @@ class SelfStabEngine:
         if vertex not in self.rams:
             self.rams[vertex] = self.algorithm.fresh_ram(vertex)
         self._touched.add(vertex)
+        self._record_topology_event("spawn")
 
     def crash_vertex(self, vertex):
         """Dynamic update: a vertex crashes, taking its edges with it."""
@@ -106,16 +120,19 @@ class SelfStabEngine:
         self.graph.remove_vertex(vertex)
         self.rams.pop(vertex, None)
         self._touched.update(neighbors)
+        self._record_topology_event("crash")
 
     def add_edge(self, u, v):
         """Dynamic update: a link appears (within the Delta bound)."""
         self.graph.add_edge(u, v)
         self._touched.update((u, v))
+        self._record_topology_event("add-edge")
 
     def remove_edge(self, u, v):
         """Dynamic update: a link disappears."""
         self.graph.remove_edge(u, v)
         self._touched.update((u, v))
+        self._record_topology_event("remove-edge")
 
     # -- execution --------------------------------------------------------------
 
@@ -172,14 +189,54 @@ class SelfStabEngine:
         Raises :class:`~repro.errors.NotStabilizedError` past ``max_rounds``.
         """
         bound = max_rounds or self.algorithm.stabilization_bound()
-        for rounds_used in range(bound + 1):
-            snapshot_changed = self.step()
-            if not snapshot_changed and self.is_legal():
-                return rounds_used + 1
-        raise NotStabilizedError(
-            "%s not stabilized after %d rounds (legal=%s)"
-            % (self.algorithm.name, bound + 1, self.is_legal())
+        tel = obs.active()
+        recording = tel.enabled
+        run_start = time.perf_counter() if recording else 0.0
+        round_rows = [] if recording else None
+        with tel.span("selfstab.stabilize", algorithm=self.algorithm.name):
+            for rounds_used in range(bound + 1):
+                snapshot_changed = self.step()
+                if recording:
+                    round_rows.append(
+                        {"round": rounds_used, "changed": len(snapshot_changed)}
+                    )
+                if not snapshot_changed and self.is_legal():
+                    if recording:
+                        self._record_stabilization(
+                            tel, rounds_used + 1, True, round_rows,
+                            time.perf_counter() - run_start,
+                        )
+                    return rounds_used + 1
+            if recording:
+                self._record_stabilization(
+                    tel, bound + 1, self.is_legal(), round_rows,
+                    time.perf_counter() - run_start, stabilized=False,
+                )
+            raise NotStabilizedError(
+                "%s not stabilized after %d rounds (legal=%s)"
+                % (self.algorithm.name, bound + 1, self.is_legal())
+            )
+
+    def _record_stabilization(
+        self, tel, rounds_used, legal, round_rows, wall_seconds, stabilized=True
+    ):
+        """Emit the per-stabilization telemetry record (both engine paths)."""
+        name = self.algorithm.name
+        tel.event(
+            "selfstab.run",
+            algorithm=name,
+            rounds_used=rounds_used,
+            stabilized=stabilized,
+            legal=legal,
+            touched=len(self.touched),
+            rounds=round_rows,
+            max_message_bits=self.max_message_bits,
+            wall_seconds=wall_seconds,
         )
+        tel.counter("selfstab.stabilizations", algorithm=name)
+        tel.counter("selfstab.rounds", rounds_used, algorithm=name)
+        tel.gauge("selfstab.max_message_bits", self.max_message_bits, algorithm=name)
+        tel.histogram("selfstab.touched_set_size", len(self.touched), algorithm=name)
 
     # -- measurement -------------------------------------------------------------
 
@@ -203,6 +260,12 @@ class SelfStabEngine:
         radius = 0
         for v in self._touched:
             if v not in distances:
-                return float("inf")
+                radius = float("inf")
+                break
             radius = max(radius, distances[v])
+        tel = obs.active()
+        if tel.enabled and radius != float("inf"):
+            tel.histogram(
+                "selfstab.adjustment_radius", radius, algorithm=self.algorithm.name
+            )
         return radius

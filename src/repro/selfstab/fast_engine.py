@@ -29,6 +29,7 @@ inherited scalar ``step`` — as it does when NumPy is unavailable or the
 adversary planted an int too large for the columns.
 """
 
+from repro.obs import core as obs
 from repro.runtime.csr import CSRAdjacency, numpy_available, numpy_or_none
 from repro.selfstab.engine import SelfStabEngine
 from repro.selfstab.kernels import BatchContext
@@ -213,6 +214,13 @@ class BatchSelfStabEngine(SelfStabEngine):
         return super().is_legal()
 
     def _scalar_step(self):
+        tel = obs.active()
+        if tel.enabled:
+            # Same signal as the one-shot engine's fallback event: a batch
+            # self-stab engine silently doing scalar rounds is a perf bug.
+            tel.counter(
+                "selfstab.fallback_scalar", algorithm=self.algorithm.name
+            )
         if self._dict_stale:
             self._sync_dict()
         changed = SelfStabEngine.step(self)

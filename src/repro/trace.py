@@ -12,7 +12,7 @@ introduction describes).
 Also exposed through the CLI: ``repro-coloring trace ...``.
 """
 
-from repro.runtime.engine import ColoringEngine
+from repro.runtime.fast_engine import make_engine
 
 __all__ = [
     "RoundTrace",
@@ -75,23 +75,37 @@ class TraceResult:
 def _second_coordinate_conflicts(graph, colors):
     """AG-style conflicts: same second coordinate across an edge.
 
-    Only defined for pair/tuple color spaces; falls back to full-color
-    conflicts for scalar colors.
+    AG-family internal colors are tuples whose *last* coordinate is the one
+    a proper coloring must separate (the AG pair ``(a1, a2)``, the tagged
+    hybrid states alike); scalar colors are compared wholesale.
     """
     def key(color):
         if isinstance(color, tuple) and len(color) >= 2:
-            return color[-1] if not isinstance(color[0], str) else color[-1]
+            return color[-1]
         return color
 
     return sum(1 for u, v in graph.edges if key(colors[u]) == key(colors[v]))
 
 
-def trace_run(graph, stage, initial_coloring, in_palette_size=None, visibility=None):
-    """Run ``stage`` with history and return a :class:`TraceResult`."""
-    kwargs = {"record_history": True}
+def trace_run(
+    graph,
+    stage,
+    initial_coloring,
+    in_palette_size=None,
+    visibility=None,
+    backend="auto",
+):
+    """Run ``stage`` with history and return a :class:`TraceResult`.
+
+    ``backend`` selects the engine through
+    :func:`~repro.runtime.fast_engine.make_engine`; because the batch engine
+    records bit-for-bit identical histories, traces agree across backends
+    (asserted in the test suite).
+    """
+    kwargs = {"record_history": True, "backend": backend}
     if visibility is not None:
         kwargs["visibility"] = visibility
-    engine = ColoringEngine(graph, **kwargs)
+    engine = make_engine(graph, **kwargs)
     run = engine.run(stage, initial_coloring, in_palette_size=in_palette_size)
     rounds = []
     for index, colors in enumerate(run.history):
@@ -217,11 +231,12 @@ def format_selfstab_trace(records, title="self-stabilization trace"):
     return "\n".join(lines)
 
 
-def trace_pipeline(graph, stages, initial_coloring, in_palette_size=None):
+def trace_pipeline(graph, stages, initial_coloring, in_palette_size=None, backend="auto"):
     """Trace a multi-stage pipeline; returns a list of (stage, TraceResult).
 
     Each stage is traced with full history, and its decoded output feeds the
-    next stage — the multi-stage analogue of :func:`trace_run`.
+    next stage — the multi-stage analogue of :func:`trace_run`.  ``backend``
+    is forwarded to every stage's :func:`trace_run`.
     """
     colors = list(initial_coloring)
     palette = in_palette_size
@@ -229,7 +244,7 @@ def trace_pipeline(graph, stages, initial_coloring, in_palette_size=None):
         palette = (max(colors) + 1) if colors else 1
     traces = []
     for stage in stages:
-        trace = trace_run(graph, stage, colors, in_palette_size=palette)
+        trace = trace_run(graph, stage, colors, in_palette_size=palette, backend=backend)
         traces.append((stage, trace))
         colors = trace.run.int_colors
         palette = stage.out_palette_size

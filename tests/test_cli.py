@@ -137,3 +137,20 @@ class TestJsonOutput:
         payload = json.loads(text)
         assert "edge_colors" in payload
         assert payload["palette_size"] >= 1
+
+    def test_color_json_stage_metrics_are_totals_only(self):
+        # The JSON summary uses MetricsLog.to_dict(detail=False): per-stage
+        # communication totals without the O(rounds) per-round rows.
+        import json
+
+        code, text = run_cli(["color", "--n", "24", "--degree", "4", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["stages"]
+        for stage in payload["stages"]:
+            metrics = stage["metrics"]
+            assert "rounds" not in metrics
+            assert set(metrics) == {"total_rounds", "total_messages", "total_bits"}
+        assert payload["total_bits"] == sum(
+            s["metrics"]["total_bits"] for s in payload["stages"]
+        )

@@ -2,10 +2,12 @@
 
 import io
 
-from repro.cli import main
+import pytest
+
 from repro.core import AdditiveGroupColoring, ThreeDimensionalAG
-from repro.graphgen import gnp_graph, random_regular
-from repro.trace import format_trace, trace_run
+from repro.cli import main
+from repro.graphgen import circulant_graph, gnp_graph, random_regular
+from repro.trace import _second_coordinate_conflicts, format_trace, trace_run
 
 
 class TestTraceRun:
@@ -46,6 +48,97 @@ class TestTraceRun:
         end_colors = trace.rounds[-1].distinct_colors
         assert end_colors <= stage.q
         assert start_colors > 2 * end_colors
+
+
+class TestSecondCoordinateConflicts:
+    """Pin the conflict-key rule: AG-family tuples compare on their *last*
+    coordinate, scalar colors compare wholesale."""
+
+    def test_ag_pairs_compare_on_last_coordinate(self):
+        graph = circulant_graph(4, (1,))  # a 4-cycle
+        pair_colors = [(0, 7), (1, 7), (2, 5), (3, 6)]
+        # Vertices 0 and 1 share second coordinate 7 across edge (0, 1):
+        # exactly one conflict, even though the full tuples differ.
+        assert _second_coordinate_conflicts(graph, pair_colors) == 1
+
+    def test_longer_tuples_use_last_coordinate(self):
+        graph = circulant_graph(4, (1,))
+        colors = [(9, 0, 3), (8, 1, 3), (7, 2, 4), (6, 3, 5)]
+        assert _second_coordinate_conflicts(graph, colors) == 1
+
+    def test_scalar_colors_compare_wholesale(self):
+        graph = circulant_graph(4, (1,))
+        assert _second_coordinate_conflicts(graph, [7, 7, 5, 6]) == 1
+        assert _second_coordinate_conflicts(graph, [0, 1, 2, 3]) == 0
+
+    def test_mixed_pairs_and_scalars(self):
+        # Finalized AG vertices carry bare ints while active ones carry
+        # pairs; a pair conflicts with a scalar when its last coordinate
+        # matches the scalar.
+        graph = circulant_graph(4, (1,))
+        colors = [(0, 5), 5, (1, 2), 3]
+        assert _second_coordinate_conflicts(graph, colors) == 1
+
+
+class TestTraceBackends:
+    @pytest.mark.requires_numpy
+    def test_trace_run_parity_across_backends(self):
+        graph = random_regular(40, 6, seed=17)
+        ref = trace_run(
+            graph, AdditiveGroupColoring(), list(range(graph.n)), backend="reference"
+        )
+        bat = trace_run(
+            graph, AdditiveGroupColoring(), list(range(graph.n)), backend="batch"
+        )
+        assert len(ref) == len(bat)
+        for a, b in zip(ref, bat):
+            assert (
+                a.round_index,
+                a.changed,
+                a.finalized,
+                a.conflicts,
+                a.distinct_colors,
+            ) == (
+                b.round_index,
+                b.changed,
+                b.finalized,
+                b.conflicts,
+                b.distinct_colors,
+            )
+        assert ref.run.int_colors == bat.run.int_colors
+
+    @pytest.mark.requires_numpy
+    def test_trace_pipeline_parity_across_backends(self):
+        from repro.core import StandardColorReduction
+        from repro.trace import trace_pipeline
+
+        graph = random_regular(32, 4, seed=82)
+        results = {}
+        for backend in ("reference", "batch"):
+            traces = trace_pipeline(
+                graph,
+                [AdditiveGroupColoring(), StandardColorReduction()],
+                list(range(graph.n)),
+                backend=backend,
+            )
+            results[backend] = [
+                (stage.name, [
+                    (r.round_index, r.changed, r.finalized, r.conflicts)
+                    for r in trace
+                ], trace.run.int_colors)
+                for stage, trace in traces
+            ]
+        assert results["reference"] == results["batch"]
+
+    def test_cli_trace_accepts_backend_flag(self):
+        out = io.StringIO()
+        code = main(
+            ["trace", "--n", "24", "--degree", "4", "--stage", "ag",
+             "--backend", "reference"],
+            out=out,
+        )
+        assert code == 0
+        assert "finished in" in out.getvalue()
 
 
 class TestFormatting:
