@@ -9,13 +9,13 @@ unambiguous) and reports the maximum and mean observed radius per problem.
 
 from bench_util import report
 
+from repro.runtime.backends import resolve_backend
 from repro.selfstab import (
     SelfStabColoring,
     SelfStabEdgeColoring,
     SelfStabExactColoring,
     SelfStabMaximalMatching,
     SelfStabMIS,
-    make_selfstab_engine,
 )
 
 from bench_selfstab_coloring import dynamic_path
@@ -27,7 +27,7 @@ FAULT_SITES = tuple(range(6, 34, 3))
 def _vertex_radii(factory, fake_ram):
     g = dynamic_path(PATH_N)
     algorithm = factory(PATH_N, 2)
-    engine = make_selfstab_engine(g, algorithm)
+    engine = resolve_backend("selfstab", "auto")(g, algorithm)
     engine.run_to_quiescence()
     radii = []
     for victim in FAULT_SITES:

@@ -10,11 +10,11 @@ show the metered implementation pays no time penalty.
 
 from bench_util import report
 
+from repro.runtime.backends import resolve_backend
 from repro.selfstab import (
     FaultCampaign,
     SelfStabColoring,
     SelfStabExactColoring,
-    make_selfstab_engine,
 )
 from repro.selfstab.lowmem import SelfStabColoringConstantMemory
 
@@ -41,7 +41,7 @@ def run_bursts():
             # row[4] == row[2] assertion below holds because both backends
             # are bit-identical.
             algorithm = factory(N, DELTA)
-            engine = make_selfstab_engine(g, algorithm)
+            engine = resolve_backend("selfstab", "auto")(g, algorithm)
             engine.run_to_quiescence()
             campaign = FaultCampaign(seed=int(fraction * 100))
             rounds = 0

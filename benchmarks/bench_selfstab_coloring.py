@@ -15,12 +15,12 @@ import random
 from bench_util import report
 
 from repro.baselines import RankGreedySelfStabColoring
+from repro.runtime.backends import resolve_backend
 from repro.runtime.graph import DynamicGraph
 from repro.selfstab import (
     FaultCampaign,
     SelfStabColoring,
     SelfStabExactColoring,
-    make_selfstab_engine,
 )
 
 PATH_SIZES = (40, 80, 160, 320)
@@ -59,8 +59,8 @@ def run_path_catastrophe():
         g_paper, g_base = dynamic_path(n), dynamic_path(n)
         paper = SelfStabColoring(n, 2)
         baseline = RankGreedySelfStabColoring(n, 2)
-        e_paper = make_selfstab_engine(g_paper, paper)
-        e_base = make_selfstab_engine(g_base, baseline)
+        e_paper = resolve_backend("selfstab", "auto")(g_paper, paper)
+        e_base = resolve_backend("selfstab", "auto")(g_base, baseline)
         for v in range(n):
             e_paper.corrupt(v, paper.plan.offsets[0])  # all-equal core colors
             e_base.corrupt(v, 0)
@@ -80,7 +80,7 @@ def run_delta_sweep():
             ("exact", SelfStabExactColoring),
         ):
             algorithm = factory(N_FOR_DELTA, delta)
-            engine = make_selfstab_engine(g, algorithm)
+            engine = resolve_backend("selfstab", "auto")(g, algorithm)
             engine.run_to_quiescence()
             campaign = FaultCampaign(seed=delta)
             for _ in range(3):
@@ -94,7 +94,7 @@ def run_adjustment_radius():
     radii = []
     g = dynamic_path(60)
     algorithm = SelfStabColoring(60, 2)
-    engine = make_selfstab_engine(g, algorithm)
+    engine = resolve_backend("selfstab", "auto")(g, algorithm)
     engine.run_to_quiescence()
     for victim in (10, 25, 40):
         engine.corrupt(victim, engine.rams[victim + 1])

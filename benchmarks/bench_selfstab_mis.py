@@ -7,7 +7,8 @@ faults (exactly <= 2).
 
 from bench_util import report
 
-from repro.selfstab import FaultCampaign, SelfStabMIS, make_selfstab_engine
+from repro.runtime.backends import resolve_backend
+from repro.selfstab import FaultCampaign, SelfStabMIS
 
 from bench_selfstab_coloring import build_dynamic, dynamic_path
 
@@ -20,7 +21,7 @@ def run_delta_sweep():
     for delta in DELTAS:
         g = build_dynamic(N, delta, 0.2, seed=100 + delta)
         algorithm = SelfStabMIS(N, delta)
-        engine = make_selfstab_engine(g, algorithm)
+        engine = resolve_backend("selfstab", "auto")(g, algorithm)
         initial = engine.run_to_quiescence()
         campaign = FaultCampaign(seed=delta)
         worst = 0
@@ -34,7 +35,7 @@ def run_delta_sweep():
 def run_radius():
     g = dynamic_path(50)
     algorithm = SelfStabMIS(50, 2)
-    engine = make_selfstab_engine(g, algorithm)
+    engine = resolve_backend("selfstab", "auto")(g, algorithm)
     engine.run_to_quiescence()
     radii = []
     for victim in (10, 25, 40):

@@ -25,7 +25,8 @@ from bench_util import report
 
 from repro.runtime.csr import numpy_available
 from repro.runtime.graph import DynamicGraph
-from repro.selfstab import FaultCampaign, SelfStabColoring, make_selfstab_engine
+from repro.runtime.backends import resolve_backend
+from repro.selfstab import FaultCampaign, SelfStabColoring
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_selfstab.json")
@@ -61,7 +62,7 @@ def _circulant_dynamic(n, delta):
 
 def _measure(graph, n, delta, backend):
     algorithm = SelfStabColoring(n, delta)
-    engine = make_selfstab_engine(graph, algorithm, backend=backend)
+    engine = resolve_backend("selfstab", backend)(graph, algorithm)
     start = time.perf_counter()
     cold_rounds = engine.run_to_quiescence()
     campaign = FaultCampaign(seed=n)

@@ -58,6 +58,7 @@ ORDER = [
     "E-ENGINE",
     "E-PIPELINE",
     "E-SELFSTAB-SPEED",
+    "E-PARALLEL",
 ]
 
 

@@ -22,7 +22,7 @@ Quickstart::
     print(result.total_rounds, "rounds")
 """
 
-from repro import analysis, apps, arboricity, bitround, graphgen, lowmem, obs, trace
+from repro import analysis, apps, arboricity, bitround, graphgen, lowmem, obs, recipes, trace
 from repro.core import (
     AdditiveGroupColoring,
     AdditiveGroupZN,
@@ -38,12 +38,23 @@ from repro.core import (
 from repro.baselines import KuhnWattenhoferReduction, greedy_coloring
 from repro.linial import LinialColoring
 from repro.mathutil import log_star
+from repro.parallel import (
+    JobRunner,
+    JobSpec,
+    register_algorithm,
+    run,
+    run_many,
+    run_sweep,
+)
 from repro.runtime import (
     ColoringEngine,
     ColoringPipeline,
     DynamicGraph,
+    Result,
     StaticGraph,
     Visibility,
+    backend_names,
+    resolve_backend,
 )
 
 __version__ = "1.0.0"
@@ -68,11 +79,21 @@ __all__ = [
     "DynamicGraph",
     "Visibility",
     "log_star",
+    "run",
+    "run_many",
+    "run_sweep",
+    "JobSpec",
+    "JobRunner",
+    "register_algorithm",
+    "Result",
+    "resolve_backend",
+    "backend_names",
     "analysis",
     "apps",
     "arboricity",
     "bitround",
     "graphgen",
     "lowmem",
+    "recipes",
     "trace",
 ]

@@ -5,6 +5,8 @@ Examples::
     repro-coloring color --family regular --n 96 --degree 8 --algorithm exact
     repro-coloring color --family gnp --n 80 --prob 0.1 --set-local
     repro-coloring color --n 2000 --degree 32 --telemetry run.jsonl
+    repro-coloring color --n 500 --degree 8 --seeds 4 --jobs 4
+    repro-coloring sweep --n 200,500 --degree 8,16 --seeds 3 --jobs 4
     repro-coloring edge-color --family regular --n 64 --degree 6
     repro-coloring mis --family grid --rows 8 --cols 9
     repro-coloring selfstab --n 40 --delta 6 --corruptions 12 --churn 2
@@ -23,16 +25,20 @@ from repro.analysis import (
     is_proper_edge_coloring,
 )
 from repro.apps import locally_iterative_maximal_matching, locally_iterative_mis
-from repro.core.pipeline import (
+from repro.mathutil import log_star
+from repro.recipes import (
     delta_plus_one_coloring,
     delta_plus_one_exact_no_reduction,
     one_plus_eps_delta_coloring,
 )
 from repro.edge import edge_coloring_congest
-from repro.mathutil import log_star
 from repro.runtime import Visibility
+from repro.runtime.backends import backend_names
 
 __all__ = ["main", "build_parser"]
+
+#: CLI algorithm name -> parallel-registry algorithm name.
+_JOB_ALGORITHMS = {"cor36": "cor36", "exact": "exact", "sublinear": "one-plus-eps"}
 
 
 def _add_graph_arguments(parser):
@@ -87,7 +93,69 @@ def _telemetry_sink(args, out):
         out.write("telemetry: wrote %d records to %s\n" % (lines, path))
 
 
+def _graph_spec(args):
+    """The :func:`repro.parallel.build_graph` dict matching ``args``."""
+    spec = {"family": args.family, "n": args.n, "seed": args.seed}
+    if args.family == "regular":
+        spec["degree"] = args.degree
+    elif args.family == "gnp":
+        spec["prob"] = args.prob
+    elif args.family == "grid":
+        spec["rows"], spec["cols"] = args.rows, args.cols
+    elif args.family == "unit-disk":
+        spec["radius"] = args.radius
+    return spec
+
+
+def _print_outcomes(args, out, outcomes):
+    """Render a list of job outcomes (table or JSON); returns the exit code."""
+    failures = [o for o in outcomes if not o.ok]
+    if args.json:
+        import json
+
+        out.write(json.dumps([o.to_dict() for o in outcomes], indent=2) + "\n")
+        return 1 if failures else 0
+    for o in outcomes:
+        if o.ok:
+            out.write(
+                "%-40s ok  rounds=%-5d colors=%-4d %.3fs\n"
+                % (o.spec.job_id, o.rounds, o.num_colors, o.seconds)
+            )
+        else:
+            state = "timeout" if o.timed_out else o.error["kind"]
+            out.write(
+                "%-40s FAILED (%s, %d attempts)\n" % (o.spec.job_id, state, o.attempts)
+            )
+    out.write(
+        "jobs: %d ok, %d failed\n" % (len(outcomes) - len(failures), len(failures))
+    )
+    return 1 if failures else 0
+
+
+def _cmd_color_jobs(args, out):
+    """The sharded fan-out path of ``color`` (``--jobs`` / ``--seeds``)."""
+    from repro import parallel
+
+    if args.set_local:
+        out.write("error: --set-local is not supported with --jobs/--seeds\n")
+        return 2
+    algorithm = _JOB_ALGORITHMS[args.algorithm]
+    specs = []
+    for seed in range(args.seed, args.seed + args.seeds):
+        graph = dict(_graph_spec(args), seed=seed)
+        specs.append(
+            parallel.JobSpec(
+                algorithm=algorithm, graph=graph, backend=args.backend, seed=seed
+            )
+        )
+    with _telemetry_sink(args, out):
+        outcomes = parallel.run_many(specs, workers=args.jobs)
+    return _print_outcomes(args, out, outcomes)
+
+
 def _cmd_color(args, out):
+    if args.jobs > 1 or args.seeds > 1:
+        return _cmd_color_jobs(args, out)
     graph = _build_graph(args)
     visibility = Visibility.SET_LOCAL if args.set_local else None
     with _telemetry_sink(args, out):
@@ -172,7 +240,7 @@ def _cmd_trace(args, out):
         ExactDeltaPlusOneHybrid,
         ThreeDimensionalAG,
     )
-    from repro.runtime import make_engine
+    from repro.runtime.backends import resolve_backend
     from repro.trace import format_trace, trace_run
 
     graph = _build_graph(args)
@@ -180,7 +248,7 @@ def _cmd_trace(args, out):
     palette = graph.n
     if args.stage == "hybrid":
         # The hybrid wants a near-(2 Delta)-sized palette: AG first.
-        engine = make_engine(graph, backend=args.backend)
+        engine = resolve_backend("engine", args.backend)(graph)
         ag = AdditiveGroupColoring()
         pre = engine.run(ag, initial)
         initial, palette = pre.int_colors, ag.out_palette_size
@@ -199,12 +267,9 @@ def _cmd_trace(args, out):
 def _cmd_selfstab(args, out):
     import random
 
+    from repro.runtime.backends import resolve_backend
     from repro.runtime.graph import DynamicGraph
-    from repro.selfstab import (
-        FaultCampaign,
-        SelfStabExactColoring,
-        make_selfstab_engine,
-    )
+    from repro.selfstab import FaultCampaign, SelfStabExactColoring
 
     rng = random.Random(args.seed)
     graph = DynamicGraph(args.n, args.delta)
@@ -220,7 +285,7 @@ def _cmd_selfstab(args, out):
                 graph.add_edge(u, v)
 
     algorithm = SelfStabExactColoring(args.n, args.delta)
-    engine = make_selfstab_engine(graph, algorithm, backend=args.backend)
+    engine = resolve_backend("selfstab", args.backend)(graph, algorithm)
     with _telemetry_sink(args, out):
         rounds = engine.run_to_quiescence()
         out.write("cold start: stabilized in %d rounds (bound budget %d)\n"
@@ -237,6 +302,28 @@ def _cmd_selfstab(args, out):
     palette = (max(colors.values()) + 1) if colors else 0
     out.write("final palette: %d <= Delta+1 = %d\n" % (palette, args.delta + 1))
     return 0
+
+
+def _cmd_sweep(args, out):
+    """Run an ``ns x degrees x seeds`` grid through the sharded job runner."""
+    from repro import parallel
+
+    ns = [int(value) for value in args.n.split(",")]
+    degrees = [int(value) for value in args.degree.split(",")]
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    with _telemetry_sink(args, out):
+        outcomes = parallel.run_sweep(
+            ns,
+            degrees,
+            seeds,
+            algorithm=args.algorithm,
+            backend=args.backend,
+            family=args.family,
+            workers=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    return _print_outcomes(args, out, outcomes)
 
 
 def _cmd_obs_summary(args, out):
@@ -277,10 +364,24 @@ def build_parser():
     )
     color.add_argument(
         "--backend",
-        choices=["auto", "batch", "reference"],
+        choices=backend_names("engine"),
         default="auto",
         help="engine backend: auto picks the vectorized NumPy engine when "
         "available (install with `pip install repro[fast]`)",
+    )
+    color.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard across N worker processes (with --seeds > 1)",
+    )
+    color.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="run K seeds (seed, seed+1, ...) through the job runner",
     )
     color.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
@@ -292,6 +393,53 @@ def build_parser():
         "JSONL to PATH (inspect with `repro-coloring obs summary PATH`)",
     )
     color.set_defaults(func=_cmd_color)
+
+    sweep = sub.add_parser(
+        "sweep", help="parameter sweep through the sharded job runner"
+    )
+    sweep.add_argument(
+        "--n", default="64,128", help="comma-separated vertex counts"
+    )
+    sweep.add_argument("--degree", default="6", help="comma-separated degrees")
+    sweep.add_argument("--seeds", type=int, default=1, metavar="K",
+                       help="seeds per grid point (seed, seed+1, ...)")
+    sweep.add_argument("--seed", type=int, default=1, help="first seed")
+    sweep.add_argument(
+        "--family",
+        choices=["regular", "gnp", "cycle", "path", "tree"],
+        default="regular",
+        help="workload graph family",
+    )
+    sweep.add_argument(
+        "--algorithm",
+        default="cor36",
+        help="job algorithm name (see repro.parallel.algorithm_names)",
+    )
+    sweep.add_argument(
+        "--backend", choices=backend_names("engine"), default="auto",
+        help="engine backend for every job",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker process count",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (process mode only)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for a failed or timed-out job",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="emit every outcome as JSON"
+    )
+    sweep.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="write the merged parent+worker telemetry stream to PATH",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     edge = sub.add_parser("edge-color", help="(2*Delta-1)-edge-coloring (CONGEST)")
     _add_graph_arguments(edge)
@@ -321,7 +469,7 @@ def build_parser():
     )
     trace.add_argument(
         "--backend",
-        choices=["auto", "batch", "reference"],
+        choices=backend_names("engine"),
         default="auto",
         help="engine backend used to record the trace (histories are "
         "bit-for-bit identical across backends)",
@@ -338,7 +486,7 @@ def build_parser():
     selfstab.add_argument("--churn", type=int, default=0)
     selfstab.add_argument(
         "--backend",
-        choices=["auto", "batch", "reference"],
+        choices=backend_names("selfstab"),
         default="auto",
         help="self-stabilization engine backend: auto picks the vectorized "
         "NumPy engine when available",

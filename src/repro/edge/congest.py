@@ -31,6 +31,7 @@ from repro.defective.kuhn_edge import kuhn_defective_edge_coloring
 from repro.edge.line_graph import build_line_graph
 from repro.linial.cole_vishkin import cole_vishkin_three_coloring
 from repro.runtime.engine import ColoringEngine
+from repro.runtime.results import Result
 
 __all__ = ["EdgeColoringResult", "edge_coloring_congest", "edge_coloring_bit_round"]
 
@@ -72,6 +73,17 @@ class EdgeColoringResult:
         return sum(self.rounds_by_stage.values())
 
     @property
+    def rounds(self):
+        """Alias of :attr:`total_rounds` (the shared result protocol)."""
+        return self.total_rounds
+
+    @property
+    def colors(self):
+        """Alias of :attr:`edge_colors` (the shared result protocol; edge
+        problems expose their ``{edge: color}`` mapping here)."""
+        return self.edge_colors
+
+    @property
     def total_bits_per_edge(self):
         """Bits exchanged per edge over the run: O(Delta + log n)."""
         return sum(self.bits_per_edge_by_stage.values())
@@ -102,6 +114,9 @@ class EdgeColoringResult:
             self.total_rounds,
             self.total_bits_per_edge,
         )
+
+
+Result.register(EdgeColoringResult)
 
 
 def _bits(x):

@@ -15,6 +15,7 @@ from repro.lowmem.steps import (
     standard_reduction_step_low_memory,
 )
 from repro.lowmem.workspace import Workspace, bits_for_range
+from repro.runtime.results import Result
 
 __all__ = ["LowMemoryReport", "delta_plus_one_coloring_low_memory"]
 
@@ -33,6 +34,11 @@ class LowMemoryReport:
         """Peak workspace usage in Theta(log n)-bit words."""
         return -(-self.peak_bits // max(1, self.word_bits))
 
+    @property
+    def num_colors(self):
+        """Distinct colors in the final coloring."""
+        return len(set(self.colors))
+
     def to_dict(self):
         """JSON-serializable summary."""
         return {
@@ -50,6 +56,9 @@ class LowMemoryReport:
             self.peak_words,
             self.word_bits,
         )
+
+
+Result.register(LowMemoryReport)
 
 
 def _synchronous_round(graph, colors, step):

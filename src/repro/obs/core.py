@@ -90,6 +90,10 @@ class NullTelemetry:
     def event(self, kind, **fields):
         """No-op."""
 
+    def absorb(self, records, **extra):
+        """Discard foreign records (mirror of :meth:`Telemetry.absorb`)."""
+        return 0
+
     def snapshot(self):
         """An empty aggregate snapshot (keeps exporters total)."""
         return {"type": "snapshot", "counters": [], "gauges": [], "histograms": []}
@@ -117,6 +121,27 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+
+    def merge(self, other):
+        """Fold another aggregate in (a :class:`Histogram` or its dict form).
+
+        Count and total add; min and max combine.  Used when stitching a
+        worker process's exported snapshot into the parent collector.
+        """
+        if isinstance(other, Histogram):
+            count, total = other.count, other.total
+            minimum, maximum = other.minimum, other.maximum
+        else:
+            count, total = other["count"], other["total"]
+            minimum, maximum = other["min"], other["max"]
+        if not count:
+            return
+        self.count += count
+        self.total += total
+        if minimum is not None and (self.minimum is None or minimum < self.minimum):
+            self.minimum = minimum
+        if maximum is not None and (self.maximum is None or maximum > self.maximum):
+            self.maximum = maximum
 
     @property
     def mean(self):
@@ -220,6 +245,45 @@ class Telemetry:
         record.update(fields)
         self.events.append(record)
         return record
+
+    def absorb(self, records, **extra):
+        """Stitch another collector's exported records into this one.
+
+        ``records`` is an iterable of dicts in the JSONL export format (see
+        :func:`repro.obs.exporters.write_jsonl`): ``snapshot`` records merge
+        into this collector's counters / gauges / histograms (counters add,
+        gauges last-write-wins, histograms fold via :meth:`Histogram.merge`);
+        every other record is appended to the event stream with a fresh local
+        ``seq`` — the foreign sequence number, if any, is preserved as
+        ``source_seq`` so per-worker ordering stays reconstructible.
+
+        ``extra`` fields are stamped onto every absorbed event; the parallel
+        job runner uses this to tag each worker record with its job id.
+        Returns the number of records absorbed.
+        """
+        absorbed = 0
+        for record in records:
+            kind = record.get("type")
+            if kind == "snapshot":
+                for row in record.get("counters", ()):
+                    self.counter(row["name"], row["value"], **row.get("tags", {}))
+                for row in record.get("gauges", ()):
+                    self.gauge(row["name"], row["value"], **row.get("tags", {}))
+                for row in record.get("histograms", ()):
+                    key = self._key(row["name"], row.get("tags", {}))
+                    agg = self.histograms.get(key)
+                    if agg is None:
+                        agg = self.histograms[key] = Histogram()
+                    agg.merge(row)
+            else:
+                stitched = dict(record)
+                if "seq" in stitched:
+                    stitched["source_seq"] = stitched.pop("seq")
+                stitched.update(extra)
+                stitched["seq"] = len(self.events)
+                self.events.append(stitched)
+            absorbed += 1
+        return absorbed
 
     def _finish_span(self, span, error):
         record = {

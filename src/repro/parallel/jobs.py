@@ -1,0 +1,406 @@
+"""Job descriptions and the worker-side executor.
+
+The multi-process runner never pickles graphs, engines, or result objects —
+everything that crosses a process boundary is a plain dict:
+
+* a :class:`JobSpec` describes one run *by value*: a graph family + its
+  generator parameters, an algorithm name from the :func:`register_algorithm`
+  registry, a backend name for the :mod:`repro.runtime.backends` registry,
+  and a seed.  ``to_dict`` / ``from_dict`` round-trip it losslessly.
+* :func:`execute_job` runs one spec in the current process and returns an
+  *envelope* dict: the spec, ``ok``, a :func:`repro.runtime.results.summarize`
+  summary of the result (every algorithm returns an object satisfying the
+  shared result protocol), the wall time, an error record on failure, and —
+  when requested — the run's telemetry records in the JSONL export format,
+  ready for :meth:`repro.obs.core.Telemetry.absorb` in the parent.
+
+Because a spec is pure data and every builtin algorithm is deterministic in
+``(graph spec, algorithm, backend, seed)``, executing the same spec inline,
+in one worker, or across eight workers yields bit-identical envelopes — the
+property the parity tests in ``tests/test_parallel.py`` pin down.
+"""
+
+import time
+import traceback
+
+from repro.obs import core as obs
+from repro.runtime.results import Result, summarize
+
+__all__ = [
+    "JobSpec",
+    "JobOutcome",
+    "SelfStabReport",
+    "algorithm_names",
+    "build_graph",
+    "execute_job",
+    "execute_payload",
+    "execute_chunk",
+    "register_algorithm",
+    "resolve_algorithm",
+]
+
+
+# -- graph materialization -----------------------------------------------------------
+
+
+def build_graph(spec):
+    """Materialize a :class:`~repro.runtime.graph.StaticGraph` from a dict.
+
+    ``spec`` names a :mod:`repro.graphgen` family plus its parameters, e.g.
+    ``{"family": "regular", "n": 1000, "degree": 8, "seed": 3}``.  The
+    ``edges`` family carries an explicit edge list instead of a generator:
+    ``{"family": "edges", "n": 4, "edges": [(0, 1), (2, 3)]}``.
+    """
+    from repro import graphgen
+    from repro.runtime.graph import StaticGraph
+
+    family = spec.get("family", "regular")
+    n = spec.get("n", 64)
+    seed = spec.get("seed", 1)
+    if family == "regular":
+        return graphgen.random_regular(n, spec.get("degree", 6), seed=seed)
+    if family == "gnp":
+        return graphgen.gnp_graph(n, spec.get("prob", 0.1), seed=seed)
+    if family == "cycle":
+        return graphgen.cycle_graph(n)
+    if family == "path":
+        return graphgen.path_graph(n)
+    if family == "grid":
+        return graphgen.grid_graph(spec.get("rows", 8), spec.get("cols", 8))
+    if family == "tree":
+        return graphgen.random_tree(n, seed=seed)
+    if family == "unit-disk":
+        return graphgen.unit_disk_graph(n, spec.get("radius", 0.15), seed=seed)
+    if family == "edges":
+        return StaticGraph(n, [tuple(edge) for edge in spec.get("edges", [])])
+    raise ValueError("unknown graph family %r" % family)
+
+
+# -- the algorithm registry ----------------------------------------------------------
+
+_ALGORITHMS = {}
+
+
+def register_algorithm(name, fn):
+    """Register ``fn(graph, backend=..., seed=..., **params)`` under ``name``.
+
+    The callable must return an object satisfying the shared result protocol
+    (``colors``, ``rounds``, ``to_dict()``) — the runner serializes it with
+    :func:`repro.runtime.results.summarize`.  Registration is per-process:
+    workers started with the ``fork`` method inherit the parent's registry;
+    under ``spawn`` only the builtins are visible.
+    """
+    _ALGORITHMS[name] = fn
+    return fn
+
+
+def algorithm_names():
+    """Sorted names of every registered job algorithm."""
+    return sorted(_ALGORITHMS)
+
+
+def resolve_algorithm(name):
+    """The registered callable for ``name`` (ValueError if unknown)."""
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown algorithm %r (registered: %s)"
+            % (name, ", ".join(algorithm_names()))
+        )
+
+
+def _alg_cor36(graph, backend="auto", seed=1, **params):
+    """Corollary 3.6: Linial -> AG -> standard reduction."""
+    from repro.recipes import delta_plus_one_coloring
+
+    return delta_plus_one_coloring(graph, backend=backend, **params)
+
+
+def _alg_exact(graph, backend="auto", seed=1, **params):
+    """Section 7: exact (Delta+1) via the AG(p)/AG(N) hybrid."""
+    from repro.recipes import delta_plus_one_exact_no_reduction
+
+    return delta_plus_one_exact_no_reduction(graph, backend=backend, **params)
+
+
+def _alg_one_plus_eps(graph, backend="auto", seed=1, **params):
+    """Theorem 6.4 shape: the arbdefective O(Delta)-coloring route."""
+    from repro.recipes import one_plus_eps_delta_coloring
+
+    return one_plus_eps_delta_coloring(graph, backend=backend, **params)
+
+
+def _alg_sublinear(graph, backend="auto", seed=1, **params):
+    """Theorem 6.4 shape, exact variant (standard reduction tail)."""
+    from repro.recipes import sublinear_delta_plus_one_coloring
+
+    return sublinear_delta_plus_one_coloring(graph, backend=backend, **params)
+
+
+class SelfStabReport:
+    """Result-protocol wrapper for a self-stabilization job.
+
+    Cold-start stabilization plus ``bursts`` seeded corruption bursts; the
+    final colors come from the algorithm's legal quiescent state.
+    """
+
+    def __init__(self, colors, cold_rounds, burst_rounds, legal):
+        self.colors = colors
+        self.cold_rounds = cold_rounds
+        self.burst_rounds = list(burst_rounds)
+        self.legal = legal
+
+    @property
+    def rounds(self):
+        """Total rounds across cold start and every burst recovery."""
+        return self.cold_rounds + sum(self.burst_rounds)
+
+    @property
+    def num_colors(self):
+        """Distinct colors in the quiescent state."""
+        return len(set(self.colors))
+
+    def to_dict(self):
+        """JSON-serializable summary."""
+        return {
+            "colors": list(self.colors),
+            "num_colors": self.num_colors,
+            "cold_rounds": self.cold_rounds,
+            "burst_rounds": list(self.burst_rounds),
+            "rounds": self.rounds,
+            "legal": self.legal,
+        }
+
+    def __repr__(self):
+        return "SelfStabReport(rounds=%d, colors=%d, legal=%s)" % (
+            self.rounds,
+            self.num_colors,
+            self.legal,
+        )
+
+
+Result.register(SelfStabReport)
+
+
+def _run_selfstab(algorithm_cls, graph, backend, seed, bursts, corruptions, churn):
+    from repro.runtime.backends import resolve_backend
+    from repro.runtime.graph import DynamicGraph
+    from repro.selfstab import FaultCampaign
+
+    dynamic = DynamicGraph.from_static(graph)
+    algorithm = algorithm_cls(dynamic.n_bound, dynamic.delta_bound)
+    engine = resolve_backend("selfstab", backend)(dynamic, algorithm)
+    cold_rounds = engine.run_to_quiescence()
+    burst_rounds = []
+    campaign = FaultCampaign(seed)
+    for _ in range(bursts):
+        campaign.corrupt_random_rams(engine, corruptions)
+        if churn:
+            campaign.churn_edges(engine, removals=churn, additions=churn)
+        burst_rounds.append(engine.run_to_quiescence())
+    colors_by_vertex = algorithm.final_colors(engine.graph, engine.rams)
+    colors = [colors_by_vertex[v] for v in sorted(colors_by_vertex)]
+    return SelfStabReport(colors, cold_rounds, burst_rounds, engine.is_legal())
+
+
+def _alg_selfstab_exact(
+    graph, backend="auto", seed=1, bursts=2, corruptions=8, churn=0, **params
+):
+    """Theorem 7.5: self-stabilizing exact (Delta+1)-coloring under faults."""
+    from repro.selfstab import SelfStabExactColoring
+
+    return _run_selfstab(
+        SelfStabExactColoring, graph, backend, seed, bursts, corruptions, churn
+    )
+
+
+def _alg_selfstab_coloring(
+    graph, backend="auto", seed=1, bursts=2, corruptions=8, churn=0, **params
+):
+    """Lemma 4.2: self-stabilizing O(Delta)-coloring under faults."""
+    from repro.selfstab import SelfStabColoring
+
+    return _run_selfstab(
+        SelfStabColoring, graph, backend, seed, bursts, corruptions, churn
+    )
+
+
+register_algorithm("cor36", _alg_cor36)
+register_algorithm("exact", _alg_exact)
+register_algorithm("one-plus-eps", _alg_one_plus_eps)
+register_algorithm("sublinear", _alg_sublinear)
+register_algorithm("selfstab", _alg_selfstab_exact)
+register_algorithm("selfstab-coloring", _alg_selfstab_coloring)
+
+
+# -- specs and outcomes --------------------------------------------------------------
+
+
+class JobSpec:
+    """One unit of work, described entirely by value (hence picklable).
+
+    ``graph`` is a :func:`build_graph` dict; ``algorithm`` a registry name;
+    ``backend`` a :mod:`repro.runtime.backends` name; ``params`` extra
+    keyword arguments for the algorithm; ``label`` an optional display name.
+    """
+
+    __slots__ = ("algorithm", "graph", "backend", "seed", "params", "label")
+
+    def __init__(
+        self,
+        algorithm="cor36",
+        graph=None,
+        backend="auto",
+        seed=1,
+        params=None,
+        label=None,
+    ):
+        self.algorithm = algorithm
+        self.graph = dict(graph) if graph else {"family": "regular", "n": 64, "degree": 6}
+        self.backend = backend
+        self.seed = seed
+        self.params = dict(params) if params else {}
+        self.label = label
+
+    @property
+    def job_id(self):
+        """Stable human-readable identity (used to tag stitched telemetry)."""
+        if self.label:
+            return self.label
+        graph = self.graph
+        parts = [self.algorithm, graph.get("family", "regular")]
+        for key in ("n", "degree", "prob", "rows", "cols", "radius"):
+            if key in graph:
+                parts.append("%s%s" % (key, graph[key]))
+        parts.append("s%d" % self.seed)
+        return "-".join(str(part) for part in parts)
+
+    def to_dict(self):
+        """The spec as a plain dict (the wire format)."""
+        return {
+            "algorithm": self.algorithm,
+            "graph": dict(self.graph),
+            "backend": self.backend,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            algorithm=data.get("algorithm", "cor36"),
+            graph=data.get("graph"),
+            backend=data.get("backend", "auto"),
+            seed=data.get("seed", 1),
+            params=data.get("params"),
+            label=data.get("label"),
+        )
+
+    def __repr__(self):
+        return "JobSpec(%s)" % self.job_id
+
+
+class JobOutcome:
+    """The parent-side view of one finished job (success, error, or timeout)."""
+
+    __slots__ = ("spec", "ok", "summary", "error", "seconds", "attempts", "timed_out", "telemetry")
+
+    def __init__(self, spec, envelope, attempts, timed_out=False):
+        self.spec = spec
+        self.ok = bool(envelope.get("ok"))
+        self.summary = envelope.get("summary")
+        self.error = envelope.get("error")
+        self.seconds = envelope.get("seconds", 0.0)
+        self.attempts = attempts
+        self.timed_out = timed_out
+        self.telemetry = envelope.get("telemetry") or []
+
+    @property
+    def colors(self):
+        """The final coloring (None unless the job succeeded)."""
+        if self.summary:
+            return self.summary["payload"].get("colors")
+        return None
+
+    @property
+    def rounds(self):
+        """Round count of the run (None unless the job succeeded)."""
+        return self.summary["rounds"] if self.summary else None
+
+    @property
+    def num_colors(self):
+        """Distinct colors used (None unless the job succeeded)."""
+        return self.summary["num_colors"] if self.summary else None
+
+    def to_dict(self):
+        """JSON-serializable record (telemetry omitted; it is stitched)."""
+        return {
+            "job": self.spec.to_dict(),
+            "job_id": self.spec.job_id,
+            "ok": self.ok,
+            "summary": self.summary,
+            "error": self.error,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+    def __repr__(self):
+        state = "ok" if self.ok else ("timeout" if self.timed_out else "error")
+        return "JobOutcome(%s, %s, attempts=%d)" % (self.spec.job_id, state, self.attempts)
+
+
+# -- worker-side execution -----------------------------------------------------------
+
+
+def execute_job(spec, collect_telemetry=False):
+    """Run one spec in this process; return the envelope dict.
+
+    Never raises: algorithm failures come back as ``ok=False`` with the
+    exception type, message, and traceback, so a crashing job cannot take a
+    worker (or the pool protocol) down with it.
+    """
+    start = time.perf_counter()
+    records = []
+    try:
+        fn = resolve_algorithm(spec.algorithm)
+        graph = build_graph(spec.graph)
+        if collect_telemetry:
+            with obs.capture() as tel:
+                result = fn(graph, backend=spec.backend, seed=spec.seed, **spec.params)
+            records = list(tel.events) + [tel.snapshot()]
+        else:
+            result = fn(graph, backend=spec.backend, seed=spec.seed, **spec.params)
+        return {
+            "ok": True,
+            "summary": summarize(result),
+            "error": None,
+            "seconds": time.perf_counter() - start,
+            "telemetry": records,
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "summary": None,
+            "error": {
+                "kind": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            "seconds": time.perf_counter() - start,
+            "telemetry": records,
+        }
+
+
+def execute_payload(payload):
+    """Pool entry point for one job: rebuild the spec, execute, return dict."""
+    spec = JobSpec.from_dict(payload["spec"])
+    return execute_job(spec, collect_telemetry=payload.get("telemetry", False))
+
+
+def execute_chunk(payloads):
+    """Pool entry point for a chunk: one IPC round-trip, many jobs."""
+    return [execute_payload(payload) for payload in payloads]

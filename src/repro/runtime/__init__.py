@@ -16,7 +16,14 @@ This package is the "distributed network" the paper's algorithms run on:
   the CONGEST and Bit-Round claims,
 * :mod:`repro.runtime.csr` / :mod:`repro.runtime.fast_engine` — the optional
   NumPy acceleration layer: CSR adjacency views and the vectorized
-  :class:`BatchColoringEngine`, selected through :func:`make_engine`.
+  :class:`BatchColoringEngine`,
+* :mod:`repro.runtime.backends` — the unified backend registry: engines of
+  every kind are constructed through
+  ``resolve_backend(kind, backend)(graph, ...)`` (the old ``make_engine`` /
+  ``make_selfstab_engine`` dispatchers remain as deprecation shims),
+* :mod:`repro.runtime.results` — the shared result protocol (``colors``,
+  ``rounds``, ``to_dict()``) every execution result satisfies, so the
+  :mod:`repro.parallel` job runner and the CLI serialize results uniformly.
 
 The engine structurally enforces the locally-iterative contract: a vertex's
 ``step`` receives only its own color and the collection of neighbor colors.
@@ -28,6 +35,13 @@ from repro.runtime.engine import ColoringEngine, RunResult, Visibility
 from repro.runtime.fast_engine import BatchColoringEngine, batch_supported, make_engine
 from repro.runtime.pipeline import ColoringPipeline, PipelineResult
 from repro.runtime.metrics import RoundMetrics, MetricsLog
+from repro.runtime.backends import (
+    BACKEND_KINDS,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.results import Result, is_result, summarize
 
 __all__ = [
     "StaticGraph",
@@ -44,4 +58,11 @@ __all__ = [
     "PipelineResult",
     "RoundMetrics",
     "MetricsLog",
+    "BACKEND_KINDS",
+    "backend_names",
+    "register_backend",
+    "resolve_backend",
+    "Result",
+    "is_result",
+    "summarize",
 ]

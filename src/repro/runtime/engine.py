@@ -25,6 +25,7 @@ from repro.errors import ImproperColoringError, PaletteOverflowError
 from repro.obs import core as obs
 from repro.runtime.algorithm import NetworkInfo
 from repro.runtime.metrics import MetricsLog, RoundMetrics
+from repro.runtime.results import Result
 
 __all__ = ["Visibility", "RunResult", "ColoringEngine"]
 
@@ -75,6 +76,11 @@ class RunResult:
             self._num_colors = len(set(self.int_colors))
         return self._num_colors
 
+    @property
+    def rounds(self):
+        """Alias of :attr:`rounds_used` (the shared result protocol)."""
+        return self.rounds_used
+
     def to_dict(self, detail=True):
         """JSON-serializable summary (history omitted; colors decoded).
 
@@ -90,6 +96,9 @@ class RunResult:
 
     def __repr__(self):
         return "RunResult(rounds=%d, colors=%d)" % (self.rounds_used, self.num_colors)
+
+
+Result.register(RunResult)
 
 
 class ColoringEngine:

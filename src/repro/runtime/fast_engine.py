@@ -34,11 +34,13 @@ the companion methods (all operate on a *state*: a tuple of parallel
     colors (ArbAG's ``None`` finalization round) override it.
 
 Stages without ``step_batch`` simply fall back to the scalar path — a
-:class:`BatchColoringEngine` is always safe to use, and
-:func:`make_engine` is the front door that picks the best backend.
+:class:`BatchColoringEngine` is always safe to use, and the
+:mod:`repro.runtime.backends` registry is the front door that picks the
+best backend (``resolve_backend("engine", "auto")``).
 """
 
 import time
+import warnings
 
 from repro.errors import ImproperColoringError, PaletteOverflowError
 from repro.obs import core as obs
@@ -93,35 +95,33 @@ def make_engine(
     backend="auto",
     stages=None,
 ):
-    """Build the best engine for ``graph`` under the requested ``backend``.
+    """Deprecated dispatcher; use the :mod:`repro.runtime.backends` registry.
 
-    * ``"auto"`` (default) — the batch engine when NumPy is available and
-      every stage in ``stages`` (when given) supports the batch protocol;
-      the reference engine otherwise.  Since the batch engine falls back to
-      the scalar path per-stage, ``stages`` may be omitted.
-    * ``"batch"`` — force the batch engine; raises :class:`RuntimeError`
-      when NumPy is missing.
-    * ``"reference"`` — force the pure-Python reference engine.
+    ``resolve_backend("engine", backend)(graph, ...)`` is the replacement
+    (one registry now serves both the coloring and the self-stabilization
+    engines); this shim forwards there unchanged and will be removed in the
+    2.0 release.  Backend semantics are documented on the registry's builtin
+    factories: ``auto`` picks the batch engine when NumPy is available and
+    every hinted stage supports the batch protocol, ``batch`` forces it
+    (RuntimeError without NumPy), ``reference`` forces the pure-Python
+    engine.
     """
-    if backend not in BACKENDS:
-        raise ValueError("unknown backend %r (choose from %s)" % (backend, ", ".join(BACKENDS)))
-    kwargs = {
-        "visibility": visibility,
-        "check_proper_each_round": check_proper_each_round,
-        "record_history": record_history,
-    }
-    if backend == "reference":
-        return ColoringEngine(graph, **kwargs)
-    have_numpy = numpy_available()
-    if backend == "batch":
-        if not have_numpy:
-            raise RuntimeError(
-                "backend='batch' needs NumPy; install it with `pip install repro[fast]`"
-            )
-        return BatchColoringEngine(graph, **kwargs)
-    if have_numpy and (stages is None or all(batch_supported(s) for s in stages)):
-        return BatchColoringEngine(graph, **kwargs)
-    return ColoringEngine(graph, **kwargs)
+    warnings.warn(
+        "make_engine is deprecated and will be removed in 2.0; use "
+        "repro.runtime.backends.resolve_backend('engine', backend) "
+        "(or the repro.run facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.backends import resolve_backend
+
+    return resolve_backend("engine", backend)(
+        graph,
+        stages=stages,
+        visibility=visibility,
+        check_proper_each_round=check_proper_each_round,
+        record_history=record_history,
+    )
 
 
 class BatchColoringEngine(ColoringEngine):

@@ -13,7 +13,8 @@ per run).
 """
 
 from repro.obs import core as obs
-from repro.runtime.fast_engine import make_engine
+from repro.runtime.backends import resolve_backend
+from repro.runtime.results import Result
 
 __all__ = ["PipelineResult", "ColoringPipeline"]
 
@@ -37,6 +38,11 @@ class PipelineResult:
     def total_rounds(self):
         """Rounds summed over every stage."""
         return sum(result.rounds_used for _, result in self.stage_results)
+
+    @property
+    def rounds(self):
+        """Alias of :attr:`total_rounds` (the shared result protocol)."""
+        return self.total_rounds
 
     @property
     def total_bits(self):
@@ -89,6 +95,9 @@ class PipelineResult:
         )
 
 
+Result.register(PipelineResult)
+
+
 class ColoringPipeline:
     """A sequence of locally-iterative stages run back to back."""
 
@@ -119,8 +128,8 @@ class ColoringPipeline:
     ):
         """Run every stage in order and return a :class:`PipelineResult`.
 
-        ``backend`` selects the engine (see
-        :func:`~repro.runtime.fast_engine.make_engine`): ``"auto"`` uses the
+        ``backend`` selects the engine through the
+        :mod:`~repro.runtime.backends` registry: ``"auto"`` uses the
         vectorized batch engine when NumPy is available, falling back to the
         scalar path per-stage; ``"batch"`` / ``"reference"`` force a side.
 
@@ -133,11 +142,10 @@ class ColoringPipeline:
         kwargs = {
             "check_proper_each_round": check_proper_each_round,
             "record_history": record_history,
-            "backend": backend,
         }
         if visibility is not None:
             kwargs["visibility"] = visibility
-        engine = make_engine(graph, **kwargs)
+        engine = resolve_backend("engine", backend)(graph, **kwargs)
 
         # Lists pass through uncopied (stages never mutate their input) and
         # ndarrays go straight to the batch engine; only other sequence types

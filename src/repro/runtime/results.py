@@ -1,0 +1,102 @@
+"""The shared result protocol.
+
+Every execution layer in the repository returns its own result class —
+:class:`~repro.runtime.engine.RunResult` (one stage),
+:class:`~repro.runtime.pipeline.PipelineResult` (a stage chain),
+:class:`~repro.recipes.SublinearColoringResult` (the Theorem 6.4 routes),
+:class:`~repro.edge.congest.EdgeColoringResult` (the CONGEST edge
+coloring), :class:`~repro.lowmem.runner.LowMemoryReport` (the metered
+low-memory run), the :mod:`repro.apps` results, ...  They all now satisfy
+one small structural protocol so the :mod:`repro.parallel` job runner and
+the CLI can serialize any job result uniformly:
+
+``colors``
+    The final output — a vertex-indexed sequence for vertex problems, an
+    ``{edge: color}`` mapping for edge problems.
+``rounds``
+    Total synchronous rounds executed.
+``to_dict()``
+    A JSON-serializable payload.
+
+:class:`Result` is a structural ABC: ``isinstance(obj, Result)`` is True
+for *any* object exposing the three members, no inheritance required.
+:func:`summarize` builds the uniform envelope the job runner ships across
+process boundaries.
+"""
+
+import abc
+
+__all__ = ["Result", "RESULT_PROTOCOL", "is_result", "summarize"]
+
+#: The members every result must expose.
+RESULT_PROTOCOL = ("colors", "rounds", "to_dict")
+
+
+class Result(abc.ABC):
+    """Structural base class of every execution result.
+
+    Membership is duck-typed: a class (or instance) with ``colors``,
+    ``rounds`` and ``to_dict`` passes ``isinstance`` / ``issubclass``
+    checks against :class:`Result` without registering or inheriting.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def __subclasshook__(cls, other):
+        """Accept any class exposing the full result protocol.
+
+        Returns ``NotImplemented`` (rather than False) on a miss so that
+        classes carrying protocol members as instance attributes can still
+        opt in through ``Result.register``.
+        """
+        if cls is not Result:
+            return NotImplemented
+        if all(
+            any(member in base.__dict__ for base in other.__mro__)
+            for member in RESULT_PROTOCOL
+        ):
+            return True
+        return NotImplemented
+
+
+def is_result(obj):
+    """True iff ``obj`` satisfies the result protocol.
+
+    Checks the class first (declared properties / registration), then the
+    instance itself — classes that assign ``colors`` in ``__init__`` pass
+    without any registration ceremony.
+    """
+    return isinstance(obj, Result) or all(
+        hasattr(obj, member) for member in RESULT_PROTOCOL
+    )
+
+
+def summarize(result, detail=False):
+    """The uniform JSON-able envelope for any protocol-compliant result.
+
+    ``detail=True`` forwards to ``to_dict(detail=True)`` on results that
+    support the flag (per-round metric rows); the default keeps the payload
+    small enough to ship between worker processes.
+
+    Raises :class:`TypeError` for objects outside the protocol, naming the
+    missing members — the error a custom job algorithm sees when it returns
+    a bare tuple instead of a result object.
+    """
+    if not is_result(result):
+        missing = [m for m in RESULT_PROTOCOL if not hasattr(result, m)]
+        raise TypeError(
+            "%r does not satisfy the result protocol (missing: %s)"
+            % (type(result).__name__, ", ".join(missing) or "nothing?")
+        )
+    try:
+        payload = result.to_dict(detail=detail)
+    except TypeError:
+        payload = result.to_dict()
+    num_colors = getattr(result, "num_colors", None)
+    return {
+        "kind": type(result).__name__,
+        "rounds": result.rounds,
+        "num_colors": num_colors,
+        "payload": payload,
+    }

@@ -20,9 +20,10 @@ legal state within ``O(Delta + log* n)`` rounds:
 
 :mod:`repro.selfstab.engine` provides the synchronous engine with the fault
 API, quiescence detection, and adjustment-radius measurement;
-:mod:`repro.selfstab.fast_engine` the vectorized drop-in engine and the
-``make_selfstab_engine`` backend dispatcher; and
-:mod:`repro.selfstab.adversary` seeded fault campaigns.
+:mod:`repro.selfstab.fast_engine` the vectorized drop-in engine (construct
+either through ``repro.runtime.backends.resolve_backend("selfstab", ...)``;
+the old ``make_selfstab_engine`` dispatcher remains as a deprecation shim);
+and :mod:`repro.selfstab.adversary` seeded fault campaigns.
 """
 
 from repro.selfstab.engine import SelfStabAlgorithm, SelfStabEngine

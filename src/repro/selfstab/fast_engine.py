@@ -29,6 +29,8 @@ inherited scalar ``step`` — as it does when NumPy is unavailable or the
 adversary planted an int too large for the columns.
 """
 
+import warnings
+
 from repro.obs import core as obs
 from repro.runtime.csr import CSRAdjacency, numpy_available, numpy_or_none
 from repro.selfstab.engine import SelfStabEngine
@@ -50,31 +52,29 @@ def batch_supported(algorithm):
 
 
 def make_selfstab_engine(graph, algorithm, set_visibility=False, backend="auto"):
-    """Build the best self-stabilization engine for the requested ``backend``.
+    """Deprecated dispatcher; use the :mod:`repro.runtime.backends` registry.
 
-    * ``"auto"`` (default) — the batch engine when NumPy is available and
-      the algorithm supports the batch protocol; the reference engine
-      otherwise.
-    * ``"batch"`` — force the batch engine; raises :class:`RuntimeError`
-      when NumPy is missing.  (The batch engine still falls back to the
-      scalar step per-round for unsupported algorithms.)
-    * ``"reference"`` — force the pure-Python reference engine.
+    ``resolve_backend("selfstab", backend)(graph, algorithm, ...)`` is the
+    replacement (one registry now serves both the coloring and the
+    self-stabilization engines); this shim forwards there unchanged and will
+    be removed in the 2.0 release.  Backend semantics are documented on the
+    registry's builtin factories: ``auto`` picks the batch engine when NumPy
+    is available and the algorithm has batch transitions, ``batch`` forces
+    it (RuntimeError without NumPy), ``reference`` forces the pure-Python
+    engine.
     """
-    if backend not in BACKENDS:
-        raise ValueError(
-            "unknown backend %r (choose from %s)" % (backend, ", ".join(BACKENDS))
-        )
-    if backend == "reference":
-        return SelfStabEngine(graph, algorithm, set_visibility=set_visibility)
-    if backend == "batch":
-        if not numpy_available():
-            raise RuntimeError(
-                "backend='batch' needs NumPy; install it with `pip install repro[fast]`"
-            )
-        return BatchSelfStabEngine(graph, algorithm, set_visibility=set_visibility)
-    if numpy_available() and batch_supported(algorithm):
-        return BatchSelfStabEngine(graph, algorithm, set_visibility=set_visibility)
-    return SelfStabEngine(graph, algorithm, set_visibility=set_visibility)
+    warnings.warn(
+        "make_selfstab_engine is deprecated and will be removed in 2.0; use "
+        "repro.runtime.backends.resolve_backend('selfstab', backend) "
+        "(or the repro.run facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.backends import resolve_backend
+
+    return resolve_backend("selfstab", backend)(
+        graph, algorithm, set_visibility=set_visibility
+    )
 
 
 class BatchSelfStabEngine(SelfStabEngine):

@@ -17,7 +17,7 @@ the underlying :class:`~repro.selfstab.engine.SelfStabEngine`.
 from repro.runtime.graph import DynamicGraph
 from repro.selfstab.coloring import SelfStabColoring
 from repro.selfstab.exact import SelfStabExactColoring
-from repro.selfstab.fast_engine import make_selfstab_engine
+from repro.runtime.backends import resolve_backend
 from repro.selfstab.mis import SelfStabMIS
 
 __all__ = ["LineGraphMirror", "SelfStabMaximalMatching", "SelfStabEdgeColoring"]
@@ -101,8 +101,8 @@ class _LineProtocol:
         self.base = base
         self.mirror = LineGraphMirror(base)
         self.algorithm = algorithm
-        self.engine = make_selfstab_engine(
-            self.mirror.line, algorithm, backend=backend
+        self.engine = resolve_backend("selfstab", backend)(
+            self.mirror.line, algorithm
         )
         # Pending desyncs of the greater endpoint's copy, healed next round.
         self._secondary_desyncs = {}

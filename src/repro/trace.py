@@ -12,7 +12,7 @@ introduction describes).
 Also exposed through the CLI: ``repro-coloring trace ...``.
 """
 
-from repro.runtime.fast_engine import make_engine
+from repro.runtime.backends import resolve_backend
 
 __all__ = [
     "RoundTrace",
@@ -97,15 +97,16 @@ def trace_run(
 ):
     """Run ``stage`` with history and return a :class:`TraceResult`.
 
-    ``backend`` selects the engine through
-    :func:`~repro.runtime.fast_engine.make_engine`; because the batch engine
+    ``backend`` selects the engine through the
+    :mod:`repro.runtime.backends` registry; because the batch engine
     records bit-for-bit identical histories, traces agree across backends
     (asserted in the test suite).
     """
     kwargs = {"record_history": True, "backend": backend}
     if visibility is not None:
         kwargs["visibility"] = visibility
-    engine = make_engine(graph, **kwargs)
+    backend = kwargs.pop("backend")
+    engine = resolve_backend("engine", backend)(graph, **kwargs)
     run = engine.run(stage, initial_coloring, in_palette_size=in_palette_size)
     rounds = []
     for index, colors in enumerate(run.history):

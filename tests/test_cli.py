@@ -154,3 +154,62 @@ class TestJsonOutput:
         assert payload["total_bits"] == sum(
             s["metrics"]["total_bits"] for s in payload["stages"]
         )
+
+
+class TestParallelCommands:
+    def test_color_seed_fanout(self):
+        code, text = run_cli(
+            ["color", "--n", "48", "--degree", "4", "--seeds", "2", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "jobs: 2 ok, 0 failed" in text
+        assert "cor36-regular-n48-degree4-s1" in text
+
+    def test_color_set_local_incompatible_with_jobs(self):
+        code, text = run_cli(
+            ["color", "--n", "32", "--degree", "4", "--seeds", "2", "--set-local"]
+        )
+        assert code == 2
+        assert "--set-local" in text
+
+    def test_sweep_table(self):
+        code, text = run_cli(
+            ["sweep", "--n", "32,48", "--degree", "4", "--seeds", "2", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "jobs: 4 ok, 0 failed" in text
+
+    def test_sweep_json(self):
+        import json
+
+        code, text = run_cli(
+            ["sweep", "--n", "24", "--degree", "4", "--seeds", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert len(payload) == 1
+        assert payload[0]["ok"]
+        assert payload[0]["summary"]["num_colors"] <= 5
+
+    def test_sweep_telemetry_stream_is_merged(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        code, text = run_cli(
+            ["sweep", "--n", "24,32", "--degree", "4", "--seeds", "1",
+             "--jobs", "2", "--telemetry", path]
+        )
+        assert code == 0
+        from repro import obs
+
+        records = obs.read_jsonl(path)
+        job_events = [r for r in records if r.get("type") == "parallel.job"]
+        assert len(job_events) == 2
+        engine_runs = [r for r in records if r.get("type") == "engine.run"]
+        assert engine_runs and all("job" in r for r in engine_runs)
+        assert any(r.get("type") == "snapshot" for r in records)
+
+    def test_sweep_unknown_algorithm_fails_cleanly(self):
+        code, text = run_cli(
+            ["sweep", "--n", "24", "--degree", "4", "--algorithm", "nope"]
+        )
+        assert code == 1
+        assert "FAILED" in text

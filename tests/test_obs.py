@@ -507,15 +507,16 @@ class TestRegressionGate:
     def test_doctored_baseline_fails_end_to_end(self, tmp_path):
         if not numpy_available():
             pytest.skip("NumPy unavailable")
-        # Doctor the committed baseline so the fresh measurement looks 2x
-        # slower than baseline; the gate must exit non-zero.
+        # Doctor the committed baseline far below any plausible measurement
+        # (10x, not 2x — cold-vs-warm run variance on a loaded box can reach
+        # 1.5x, exactly the tolerance margin); the gate must exit non-zero.
         measured = check_regression.measure("engine", [(2000, 16)])
         with open(os.path.join(check_regression.REPO_ROOT, "BENCH_engine.json")) as fh:
             baseline = json.load(fh)
         for entry in baseline["entries"]:
             for m in measured:
                 if (entry["n"], entry["delta"]) == (m["n"], m["delta"]):
-                    entry["batch_seconds"] = m["batch_seconds"] / 2.0
+                    entry["batch_seconds"] = m["batch_seconds"] / 10.0
         (tmp_path / "BENCH_engine.json").write_text(json.dumps(baseline))
         code = check_regression.main(
             ["--smoke", "--bench", "engine", "--baseline-dir", str(tmp_path)]
