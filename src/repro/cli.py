@@ -5,8 +5,8 @@ Examples::
     repro-coloring color --family regular --n 96 --degree 8 --algorithm exact
     repro-coloring color --family gnp --n 80 --prob 0.1 --set-local
     repro-coloring color --n 2000 --degree 32 --telemetry run.jsonl
-    repro-coloring color --n 500 --degree 8 --seeds 4 --jobs 4
-    repro-coloring sweep --n 200,500 --degree 8,16 --seeds 3 --jobs 4
+    repro-coloring color --n 500 --degree 8 --seeds 4 --workers 4
+    repro-coloring sweep --n 200,500 --degree 8,16 --seeds 3 --workers 4
     repro-coloring edge-color --family regular --n 64 --degree 6
     repro-coloring mis --family grid --rows 8 --cols 9
     repro-coloring selfstab --n 40 --delta 6 --corruptions 12 --churn 2
@@ -132,12 +132,25 @@ def _print_outcomes(args, out, outcomes):
     return 1 if failures else 0
 
 
-def _cmd_color_jobs(args, out):
-    """The sharded fan-out path of ``color`` (``--jobs`` / ``--seeds``)."""
+def _worker_count(args):
+    """Resolve ``--workers``, honoring the deprecated ``--jobs`` alias."""
+    if getattr(args, "jobs", None) is not None:
+        import warnings
+
+        warnings.warn(
+            "--jobs is deprecated; use --workers", DeprecationWarning, stacklevel=2
+        )
+        if args.workers is None:
+            return args.jobs
+    return args.workers if args.workers is not None else 1
+
+
+def _cmd_color_jobs(args, out, workers):
+    """The sharded fan-out path of ``color`` (``--workers`` / ``--seeds``)."""
     from repro import parallel
 
     if args.set_local:
-        out.write("error: --set-local is not supported with --jobs/--seeds\n")
+        out.write("error: --set-local is not supported with --workers/--seeds\n")
         return 2
     algorithm = _JOB_ALGORITHMS[args.algorithm]
     specs = []
@@ -149,13 +162,14 @@ def _cmd_color_jobs(args, out):
             )
         )
     with _telemetry_sink(args, out):
-        outcomes = parallel.run_many(specs, workers=args.jobs)
+        outcomes = parallel.run_many(specs, workers=workers)
     return _print_outcomes(args, out, outcomes)
 
 
 def _cmd_color(args, out):
-    if args.jobs > 1 or args.seeds > 1:
-        return _cmd_color_jobs(args, out)
+    workers = _worker_count(args)
+    if workers > 1 or args.seeds > 1:
+        return _cmd_color_jobs(args, out, workers)
     graph = _build_graph(args)
     visibility = Visibility.SET_LOCAL if args.set_local else None
     with _telemetry_sink(args, out):
@@ -319,7 +333,7 @@ def _cmd_sweep(args, out):
             algorithm=args.algorithm,
             backend=args.backend,
             family=args.family,
-            workers=args.jobs,
+            workers=_worker_count(args),
             timeout=args.timeout,
             retries=args.retries,
         )
@@ -370,11 +384,18 @@ def build_parser():
         "available (install with `pip install repro[fast]`)",
     )
     color.add_argument(
-        "--jobs",
+        "--workers",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help="shard across N worker processes (with --seeds > 1)",
+    )
+    color.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="deprecated alias for --workers",
     )
     color.add_argument(
         "--seeds",
@@ -420,8 +441,12 @@ def build_parser():
         help="engine backend for every job",
     )
     sweep.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--workers", type=int, default=None, metavar="N",
         help="worker process count",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="deprecated alias for --workers",
     )
     sweep.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",

@@ -24,11 +24,14 @@ from repro.parallel.jobs import (
     SelfStabReport,
     algorithm_names,
     build_graph,
+    clear_graph_cache,
     execute_job,
+    graph_cache_stats,
     register_algorithm,
     resolve_algorithm,
 )
 from repro.parallel.runner import JobRunner, run, run_many, run_sweep, sweep_specs
+from repro.parallel.shm import shm_available
 
 __all__ = [
     "JobOutcome",
@@ -37,11 +40,14 @@ __all__ = [
     "SelfStabReport",
     "algorithm_names",
     "build_graph",
+    "clear_graph_cache",
     "execute_job",
+    "graph_cache_stats",
     "register_algorithm",
     "resolve_algorithm",
     "run",
     "run_many",
     "run_sweep",
+    "shm_available",
     "sweep_specs",
 ]

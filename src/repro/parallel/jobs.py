@@ -20,8 +20,10 @@ in one worker, or across eight workers yields bit-identical envelopes — the
 property the parity tests in ``tests/test_parallel.py`` pin down.
 """
 
+import os
 import time
 import traceback
+from collections import OrderedDict
 
 from repro.obs import core as obs
 from repro.runtime.results import Result, summarize
@@ -32,9 +34,13 @@ __all__ = [
     "SelfStabReport",
     "algorithm_names",
     "build_graph",
+    "clear_graph_cache",
     "execute_job",
     "execute_payload",
     "execute_chunk",
+    "graph_cache_stats",
+    "graph_key",
+    "peek_graph",
     "register_algorithm",
     "resolve_algorithm",
 ]
@@ -43,14 +49,7 @@ __all__ = [
 # -- graph materialization -----------------------------------------------------------
 
 
-def build_graph(spec):
-    """Materialize a :class:`~repro.runtime.graph.StaticGraph` from a dict.
-
-    ``spec`` names a :mod:`repro.graphgen` family plus its parameters, e.g.
-    ``{"family": "regular", "n": 1000, "degree": 8, "seed": 3}``.  The
-    ``edges`` family carries an explicit edge list instead of a generator:
-    ``{"family": "edges", "n": 4, "edges": [(0, 1), (2, 3)]}``.
-    """
+def _materialize_graph(spec):
     from repro import graphgen
     from repro.runtime.graph import StaticGraph
 
@@ -74,6 +73,136 @@ def build_graph(spec):
     if family == "edges":
         return StaticGraph(n, [tuple(edge) for edge in spec.get("edges", [])])
     raise ValueError("unknown graph family %r" % family)
+
+
+# Bounded LRU over materialized graphs.  Generation dominates per-job setup
+# (21s for a random 16-regular graph at n=10^5), and sweeps over seeds or
+# backends keep asking for the same topology; caching the StaticGraph also
+# caches its memoized ``csr()`` — the cross-job CSR cache the shared-memory
+# exporter reads from.  Keys are the *full* spec dict, so a differing seed,
+# degree, or probability is a different entry by construction.
+_GRAPH_CACHE = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+_CACHE_SIZE_ENV = "REPRO_GRAPH_CACHE_SIZE"
+_CACHE_BYTES_ENV = "REPRO_GRAPH_CACHE_BYTES"
+_DEFAULT_CACHE_SIZE = 8
+_DEFAULT_CACHE_BYTES = 512 << 20
+
+
+def _cache_limits():
+    try:
+        entries = int(os.environ.get(_CACHE_SIZE_ENV, _DEFAULT_CACHE_SIZE))
+    except ValueError:
+        entries = _DEFAULT_CACHE_SIZE
+    try:
+        max_bytes = int(os.environ.get(_CACHE_BYTES_ENV, _DEFAULT_CACHE_BYTES))
+    except ValueError:
+        max_bytes = _DEFAULT_CACHE_BYTES
+    return entries, max_bytes
+
+
+def graph_key(spec):
+    """Hashable cache identity of a graph spec dict.
+
+    Conservative on purpose: two spec dicts that differ only in a key being
+    *absent* versus *present at its default* get distinct keys (at worst a
+    duplicate entry, never a wrong graph).  Raises :class:`TypeError` for
+    unhashable parameter values; callers then bypass the cache.
+    """
+    items = []
+    for key in sorted(spec):
+        value = spec[key]
+        if key == "edges":
+            value = tuple(tuple(edge) for edge in value)
+        items.append((key, value))
+    key = tuple(items)
+    hash(key)  # surface unhashable parameter values here, not at cache lookup
+    return key
+
+
+def _graph_nbytes(graph):
+    """Rough resident size of a cached graph (python adjacency + CSR view).
+
+    Measured at ~80 bytes per adjacency slot for the tuple-of-tuples
+    representation; padded to cover the edge tuple and the CSR arrays.
+    """
+    return 112 * (graph.n + 2 * graph.m)
+
+
+def _cache_bytes():
+    return sum(_graph_nbytes(graph) for graph in _GRAPH_CACHE.values())
+
+
+def graph_cache_stats():
+    """Hit/miss/eviction counts and current occupancy of the graph cache."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "evictions": _CACHE_STATS["evictions"],
+        "entries": len(_GRAPH_CACHE),
+        "bytes": _cache_bytes(),
+    }
+
+
+def clear_graph_cache():
+    """Empty the graph cache and reset its statistics."""
+    _GRAPH_CACHE.clear()
+    _CACHE_STATS.update(hits=0, misses=0, evictions=0)
+
+
+def peek_graph(spec):
+    """The cached graph for ``spec``, or None — no build, no stats, no LRU touch."""
+    try:
+        return _GRAPH_CACHE.get(graph_key(spec))
+    except TypeError:
+        return None
+
+
+def build_graph(spec, cache=True):
+    """Materialize a :class:`~repro.runtime.graph.StaticGraph` from a dict.
+
+    ``spec`` names a :mod:`repro.graphgen` family plus its parameters, e.g.
+    ``{"family": "regular", "n": 1000, "degree": 8, "seed": 3}``.  The
+    ``edges`` family carries an explicit edge list instead of a generator:
+    ``{"family": "edges", "n": 4, "edges": [(0, 1), (2, 3)]}``.
+
+    Results come from a bounded LRU keyed by the full spec (safe: generation
+    is deterministic in the spec, and graphs are immutable).  Bounds:
+    ``REPRO_GRAPH_CACHE_SIZE`` entries (default 8, 0 disables) and
+    ``REPRO_GRAPH_CACHE_BYTES`` estimated bytes (default 512 MiB).  Pass
+    ``cache=False`` to force a fresh build.
+    """
+    max_entries, max_bytes = _cache_limits()
+    if not cache or max_entries <= 0:
+        return _materialize_graph(spec)
+    try:
+        key = graph_key(spec)
+    except TypeError:
+        return _materialize_graph(spec)
+    tel = obs.active()
+    graph = _GRAPH_CACHE.get(key)
+    if graph is not None:
+        _GRAPH_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+        if tel.enabled:
+            tel.counter("parallel.graph_cache.hits")
+        return graph
+    graph = _materialize_graph(spec)
+    _CACHE_STATS["misses"] += 1
+    if tel.enabled:
+        tel.counter("parallel.graph_cache.misses")
+    if _graph_nbytes(graph) <= max_bytes:
+        _GRAPH_CACHE[key] = graph
+        while len(_GRAPH_CACHE) > max_entries or _cache_bytes() > max_bytes:
+            _GRAPH_CACHE.popitem(last=False)
+            _CACHE_STATS["evictions"] += 1
+            if tel.enabled:
+                tel.counter("parallel.graph_cache.evictions")
+    if tel.enabled:
+        tel.gauge("parallel.graph_cache.entries", len(_GRAPH_CACHE))
+        tel.gauge("parallel.graph_cache.bytes", _cache_bytes())
+    return graph
 
 
 # -- the algorithm registry ----------------------------------------------------------
@@ -356,18 +485,25 @@ class JobOutcome:
 # -- worker-side execution -----------------------------------------------------------
 
 
-def execute_job(spec, collect_telemetry=False):
+def execute_job(spec, collect_telemetry=False, graph=None):
     """Run one spec in this process; return the envelope dict.
 
     Never raises: algorithm failures come back as ``ok=False`` with the
     exception type, message, and traceback, so a crashing job cannot take a
     worker (or the pool protocol) down with it.
+
+    ``graph`` short-circuits materialization with an already-built adjacency
+    view — the shared-memory fan-out hands workers an attached
+    :class:`~repro.parallel.shm.SharedGraphView` here.  Results are
+    bit-identical either way: the view answers every query the generated
+    graph would.
     """
     start = time.perf_counter()
     records = []
     try:
         fn = resolve_algorithm(spec.algorithm)
-        graph = build_graph(spec.graph)
+        if graph is None:
+            graph = build_graph(spec.graph)
         if collect_telemetry:
             with obs.capture() as tel:
                 result = fn(graph, backend=spec.backend, seed=spec.seed, **spec.params)
@@ -396,9 +532,40 @@ def execute_job(spec, collect_telemetry=False):
 
 
 def execute_payload(payload):
-    """Pool entry point for one job: rebuild the spec, execute, return dict."""
+    """Pool entry point for one job: rebuild the spec, execute, return dict.
+
+    When the parent annotated the payload with shared-memory metadata, the
+    graph comes from an attached segment instead of a rebuild, and the final
+    color list leaves through the job's color segment instead of the result
+    pickle.  Every shm failure degrades to the by-value path silently — the
+    envelope is bit-identical either way.
+    """
     spec = JobSpec.from_dict(payload["spec"])
-    return execute_job(spec, collect_telemetry=payload.get("telemetry", False))
+    graph = None
+    view = None
+    if payload.get("shm_graph") is not None:
+        from repro.parallel import shm
+
+        try:
+            view = shm.attach_graph(payload["shm_graph"])
+            graph = view
+        except Exception:
+            graph = None
+    try:
+        envelope = execute_job(
+            spec, collect_telemetry=payload.get("telemetry", False), graph=graph
+        )
+        if payload.get("shm_colors") is not None:
+            from repro.parallel import shm
+
+            try:
+                shm.offload_colors(envelope, payload["shm_colors"])
+            except Exception:
+                pass
+        return envelope
+    finally:
+        if view is not None:
+            view.detach()
 
 
 def execute_chunk(payloads):

@@ -85,9 +85,14 @@ class JobRunner:
     mode:
         ``"auto"`` (process pool when useful and available, else inline),
         ``"process"`` (force the pool), or ``"inline"`` (force in-process).
+    shm:
+        ``None`` (zero-copy shared-memory fan-out when available — the
+        default), ``True`` (require it; RuntimeError when unavailable), or
+        ``False`` (force the by-value protocol).  Only meaningful in process
+        mode; results are bit-identical either way.
     """
 
-    def __init__(self, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto"):
+    def __init__(self, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto", shm=None):
         if mode not in ("auto", "process", "inline"):
             raise ValueError("unknown runner mode %r" % mode)
         self.workers = _default_workers() if workers is None else max(1, int(workers))
@@ -95,8 +100,10 @@ class JobRunner:
         self.retries = max(0, int(retries))
         self.chunk_size = chunk_size
         self.mode = mode
+        self.shm = shm
         self._context = None
         self._pool = None
+        self._manager = None
 
     # -- pool lifecycle ----------------------------------------------------------
 
@@ -133,11 +140,14 @@ class JobRunner:
             self._pool = None
 
     def close(self):
-        """Release the worker pool (idempotent)."""
+        """Release the worker pool and any shared-memory segments (idempotent)."""
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self._manager is not None:
+            self._manager.close()
+            self._manager = None
 
     def __enter__(self):
         return self
@@ -199,6 +209,31 @@ class JobRunner:
             size = max(1, -(-len(indices) // (self.workers * 4)))
         return [indices[i:i + size] for i in range(0, len(indices), size)]
 
+    def _shm_plane(self, specs, payloads):
+        """Annotate payloads with shared-memory metadata; None when by-value.
+
+        The plane's segments deliberately outlive ``_reset_pool``: jobs
+        re-dispatched after a timeout attach to the same names.  Everything
+        is released when each job finalizes, with ``close``/``atexit`` as
+        backstops.
+        """
+        if self.shm is False:
+            return None
+        from repro.parallel import shm as shm_mod
+
+        if not shm_mod.shm_available():
+            if self.shm is True:
+                raise RuntimeError(
+                    "shared-memory fan-out requested but unavailable "
+                    "(no multiprocessing.shared_memory, no NumPy, or REPRO_DISABLE_SHM=1)"
+                )
+            return None
+        if self._manager is None:
+            self._manager = shm_mod.SegmentManager()
+        plane = shm_mod.ShmPlane(self._manager)
+        plane.annotate(specs, payloads)
+        return plane
+
     def _map_pool(self, specs, collect):
         import multiprocessing
 
@@ -207,42 +242,51 @@ class JobRunner:
         timed_out = [False] * len(specs)
         envelopes = [None] * len(specs)
         pending = list(range(len(specs)))
+        plane = self._shm_plane(specs, payloads)
 
-        while pending:
-            pool = self._ensure_pool()
-            handles = [
-                (chunk, pool.apply_async(execute_chunk, ([payloads[i] for i in chunk],)))
-                for chunk in self._chunks(pending)
-            ]
-            next_pending = []
-            aborted = False
-            for chunk, handle in handles:
-                if aborted:
-                    # The pool died reclaiming an earlier stuck worker; these
-                    # chunks were lost undelivered — re-dispatch uncharged.
-                    next_pending.extend(chunk)
-                    continue
-                try:
-                    results = handle.get(self.timeout * len(chunk) if self.timeout else None)
-                except multiprocessing.TimeoutError:
-                    self._reset_pool()
-                    aborted = True
-                    for i in chunk:
+        try:
+            while pending:
+                pool = self._ensure_pool()
+                handles = [
+                    (chunk, pool.apply_async(execute_chunk, ([payloads[i] for i in chunk],)))
+                    for chunk in self._chunks(pending)
+                ]
+                next_pending = []
+                aborted = False
+                for chunk, handle in handles:
+                    if aborted:
+                        # The pool died reclaiming an earlier stuck worker; these
+                        # chunks were lost undelivered — re-dispatch uncharged.
+                        next_pending.extend(chunk)
+                        continue
+                    try:
+                        results = handle.get(self.timeout * len(chunk) if self.timeout else None)
+                    except multiprocessing.TimeoutError:
+                        self._reset_pool()
+                        aborted = True
+                        for i in chunk:
+                            attempts[i] += 1
+                            timed_out[i] = True
+                            if attempts[i] <= self.retries:
+                                next_pending.append(i)
+                            else:
+                                envelopes[i] = _timeout_envelope(self.timeout)
+                                if plane is not None:
+                                    plane.finalize(i, envelopes[i])
+                        continue
+                    for i, envelope in zip(chunk, results):
                         attempts[i] += 1
-                        timed_out[i] = True
-                        if attempts[i] <= self.retries:
+                        timed_out[i] = False
+                        if not envelope["ok"] and attempts[i] <= self.retries:
                             next_pending.append(i)
                         else:
-                            envelopes[i] = _timeout_envelope(self.timeout)
-                    continue
-                for i, envelope in zip(chunk, results):
-                    attempts[i] += 1
-                    timed_out[i] = False
-                    if not envelope["ok"] and attempts[i] <= self.retries:
-                        next_pending.append(i)
-                    else:
-                        envelopes[i] = envelope
-            pending = next_pending
+                            if plane is not None:
+                                plane.finalize(i, envelope)
+                            envelopes[i] = envelope
+                pending = next_pending
+        finally:
+            if plane is not None:
+                plane.close()
 
         return [
             JobOutcome(spec, envelopes[i], attempts[i], timed_out=timed_out[i])
@@ -299,14 +343,14 @@ def run(job, **kwargs):
         return runner.submit(job)
 
 
-def run_many(jobs, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto"):
+def run_many(jobs, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto", shm=None):
     """Run a list of jobs across a worker pool; outcomes in input order.
 
     The multi-job entry point of the facade: builds a :class:`JobRunner`,
     maps the jobs, closes the pool.  Bit-identical to running each job with
     :func:`run` — only the wall-clock differs.
     """
-    with JobRunner(workers=workers, timeout=timeout, retries=retries, chunk_size=chunk_size, mode=mode) as runner:
+    with JobRunner(workers=workers, timeout=timeout, retries=retries, chunk_size=chunk_size, mode=mode, shm=shm) as runner:
         return runner.map_jobs(jobs)
 
 
@@ -327,7 +371,7 @@ def sweep_specs(ns, degrees, seeds, algorithm="cor36", backend="auto", family="r
     return specs
 
 
-def run_sweep(ns, degrees, seeds, algorithm="cor36", backend="auto", family="regular", params=None, workers=None, timeout=None, retries=1, mode="auto"):
+def run_sweep(ns, degrees, seeds, algorithm="cor36", backend="auto", family="regular", params=None, workers=None, timeout=None, retries=1, mode="auto", shm=None):
     """Sweep the parameter grid across workers; outcomes in grid order."""
     return run_many(
         sweep_specs(ns, degrees, seeds, algorithm=algorithm, backend=backend, family=family, params=params),
@@ -335,4 +379,5 @@ def run_sweep(ns, degrees, seeds, algorithm="cor36", backend="auto", family="reg
         timeout=timeout,
         retries=retries,
         mode=mode,
+        shm=shm,
     )

@@ -146,6 +146,24 @@ class CSRAdjacency:
         csr = cls(n, edge_u.size, indptr, indices, rows, degrees, edge_u, edge_v)
         return csr, verts_arr
 
+    @classmethod
+    def from_arrays(cls, n, indptr, indices):
+        """Rebuild a CSR view from bare ``indptr``/``indices`` arrays.
+
+        The shared-memory fan-out plane ships exactly those two arrays; the
+        derived columns (``rows``, ``degrees``, ``edge_u``/``edge_v``) are
+        recomputed here, producing the same values ``from_graph`` would —
+        forward slots in row-major order enumerate the edges in the sorted
+        ``u < v`` order of ``StaticGraph.edges``.
+        """
+        np = _require_numpy()
+        degrees = np.diff(indptr)
+        rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        forward = rows < indices
+        edge_u = rows[forward]
+        edge_v = indices[forward]
+        return cls(n, int(edge_u.size), indptr, indices, rows, degrees, edge_u, edge_v)
+
     # -- kernel building blocks -------------------------------------------------
 
     def gather(self, values):

@@ -130,7 +130,43 @@ class BatchColoringEngine(ColoringEngine):
     Construction, parameters, and results match the reference engine; only
     the inner loop differs.  A stage without ``step_batch`` (or a run with
     NumPy disabled) transparently uses the inherited scalar path.
+
+    ``native=True`` routes rounds of covered stages through the Numba
+    kernels of :mod:`repro.runtime.native` — bit-identical output, one fused
+    pass per round instead of several array temporaries.  Stages without a
+    kernel (and environments without Numba) silently keep the NumPy path:
+    the documented ``numba -> batch -> reference`` fallback order.  The
+    default comes from ``REPRO_NATIVE=1``, which is how CI runs the
+    differential suites against the native kernels unmodified.
     """
+
+    def __init__(
+        self,
+        graph,
+        visibility=Visibility.LOCAL,
+        check_proper_each_round=False,
+        record_history=False,
+        native=None,
+    ):
+        super().__init__(
+            graph,
+            visibility=visibility,
+            check_proper_each_round=check_proper_each_round,
+            record_history=record_history,
+        )
+        if native is None:
+            from repro.runtime.native import native_default
+
+            native = native_default()
+        self.native = bool(native)
+
+    def _native_step(self, stage):
+        """The stage's native round kernel, or None for the NumPy path."""
+        if not self.native:
+            return None
+        from repro.runtime import native
+
+        return native.engine_kernel_for(stage)
 
     def run(
         self,
@@ -192,6 +228,10 @@ class BatchColoringEngine(ColoringEngine):
         run_start = time.perf_counter() if recording else 0.0
         round_rows = [] if recording else None
 
+        native_step = self._native_step(stage)
+        if native_step is not None and recording:
+            tel.counter("engine.native_kernel", stage=stage.name)
+
         if self.check_proper_each_round and stage.maintains_proper:
             self._assert_proper_batch(stage, state, csr, -1)
 
@@ -202,7 +242,10 @@ class BatchColoringEngine(ColoringEngine):
                 break
             if recording:
                 round_start = time.perf_counter()
-            new_state = stage.step_batch(round_index, state, csr, self.visibility)
+            if native_step is not None:
+                new_state = native_step(stage, round_index, state, csr, self.visibility)
+            else:
+                new_state = stage.step_batch(round_index, state, csr, self.visibility)
             changed = 0
             if graph.n:
                 changed_mask = np.zeros(graph.n, dtype=bool)

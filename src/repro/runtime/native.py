@@ -1,0 +1,289 @@
+"""Optional Numba-jitted kernels for the hottest per-round loops.
+
+The batch engines replaced per-vertex Python calls with NumPy array ops; the
+remaining cost is the handful of full-array temporaries each round allocates
+(gather, compare, bincount, where).  The kernels here fuse a whole round
+into one cache-friendly pass over the CSR arrays — the AG-family one-shot
+steps (additive-group, 3AG, AG(N)) and the self-stabilizing coloring's
+steady-state round, which between them dominate every benchmark profile.
+
+Structure, in fallback order (``numba -> batch -> reference``):
+
+* Each kernel is written as a **plain-Python loop function** over ``int64``
+  arrays.  Without Numba the raw functions still run (slowly) under plain
+  NumPy indexing — which is how the differential tests verify kernel logic
+  on machines where Numba is not installed.
+* :func:`engine_kernel_for` / :func:`selfstab_kernel_for` return an adapter
+  only when Numba is importable (and ``REPRO_DISABLE_NUMBA`` is unset);
+  compilation is lazy, per function, on first call.
+* A kernel may decline a round at runtime by returning ``None`` — the
+  self-stabilizing kernel only covers the all-level-0 steady state, and the
+  engine then runs the ordinary NumPy batch round.  Output is bit-identical
+  in every case: the kernels mirror the ``step_batch`` array semantics
+  exactly, and the differential suites run against them under
+  ``REPRO_NATIVE=1``.
+
+Nothing here imports ``numba`` at module import time; the module is safe to
+load in every environment, including ``REPRO_DISABLE_NUMPY=1``.
+"""
+
+import os
+
+from repro.runtime.csr import numpy_or_none
+
+__all__ = [
+    "numba_or_none",
+    "native_available",
+    "native_default",
+    "engine_kernel_for",
+    "selfstab_kernel_for",
+]
+
+_DISABLE_ENV = "REPRO_DISABLE_NUMBA"
+_FORCE_ENV = "REPRO_NATIVE"
+
+
+def numba_or_none():
+    """The ``numba`` module, or None if unavailable or disabled.
+
+    ``REPRO_DISABLE_NUMBA=1`` makes the native layer behave as if Numba were
+    not installed (the differential knob, mirroring ``REPRO_DISABLE_NUMPY``).
+    """
+    if os.environ.get(_DISABLE_ENV) == "1":
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+def native_available():
+    """True iff native kernels can actually compile and run."""
+    return numba_or_none() is not None and numpy_or_none() is not None
+
+
+def native_default():
+    """Engine-level default for the ``native`` flag (``REPRO_NATIVE=1``).
+
+    The env knob lets the existing differential parity suites exercise the
+    Numba path without any test changes — CI's optional-deps job sets it.
+    """
+    return os.environ.get(_FORCE_ENV) == "1"
+
+
+# -- the raw kernels ------------------------------------------------------------------
+#
+# Plain functions over int64 arrays, written in the scalar subset Numba's
+# nopython mode compiles directly.  Each mirrors its stage's step_batch
+# array semantics exactly (same where-conditions, same modular arithmetic).
+
+
+def ag_round(indptr, indices, a, b, q, new_a, new_b):
+    """AdditiveGroupColoring.step_batch: rotate on a shared-b conflict."""
+    for v in range(a.shape[0]):
+        bv = b[v]
+        conflict = False
+        for s in range(indptr[v], indptr[v + 1]):
+            if b[indices[s]] == bv:
+                conflict = True
+                break
+        if conflict:
+            new_a[v] = a[v]
+            new_b[v] = (bv + a[v]) % q
+        else:
+            new_a[v] = 0
+            new_b[v] = bv
+
+
+def ag3_round(indptr, indices, c, b, a, p, new_c, new_b, new_a):
+    """ThreeDimensionalAG.step_batch: the two-phase (c, b, a) descent."""
+    for v in range(c.shape[0]):
+        cv, bv, av = c[v], b[v], a[v]
+        phase1 = False
+        phase2 = False
+        for s in range(indptr[v], indptr[v + 1]):
+            u = indices[s]
+            if b[u] == bv and c[u] != cv:
+                phase1 = True
+            if a[u] == av:
+                phase2 = True
+        if cv != 0:
+            if phase1:
+                new_c[v] = cv
+                new_b[v] = (bv + cv) % p
+            else:
+                new_c[v] = 0
+                new_b[v] = bv
+            new_a[v] = av
+        else:
+            new_c[v] = 0
+            if phase2:
+                new_b[v] = bv
+                new_a[v] = (av + bv) % p
+            else:
+                new_b[v] = 0
+                new_a[v] = av
+
+
+def agn_round(indptr, indices, b, a, modulus, new_b, new_a):
+    """AdditiveGroupZN.step_batch: increment on a shared-a conflict."""
+    for v in range(b.shape[0]):
+        av = a[v]
+        conflict = False
+        for s in range(indptr[v], indptr[v + 1]):
+            if a[indices[s]] == av:
+                conflict = True
+                break
+        if b[v] != 0:
+            if conflict:
+                new_b[v] = b[v]
+                new_a[v] = (av + 1) % modulus
+            else:
+                new_b[v] = 0
+                new_a[v] = av
+        else:
+            new_b[v] = b[v]
+            new_a[v] = av
+
+
+def selfstab_core_round(indptr, indices, colors, q, reset_base, vertex_ids, new):
+    """One SelfStabColoring round in the all-level-0 steady state.
+
+    Valid only when every color sits in the core interval ``[0, q*q)`` (the
+    adapter checks): Check-Error resets exact-equal conflicts to the ID
+    slot; everyone else takes the uniform AG step against the *old* neighbor
+    colors, exactly as ``transition_batch_colors`` does.
+    """
+    for v in range(colors.shape[0]):
+        cv = colors[v]
+        bv = cv % q
+        exact = False
+        core = False
+        for s in range(indptr[v], indptr[v + 1]):
+            cu = colors[indices[s]]
+            if cu == cv:
+                exact = True
+                break
+            if cu % q == bv:
+                core = True
+        if exact:
+            new[v] = reset_base + vertex_ids[v]
+        elif core:
+            av = cv // q
+            new[v] = av * q + (bv + av) % q
+        else:
+            new[v] = bv
+
+
+# -- lazy compilation -----------------------------------------------------------------
+
+_COMPILED = {}
+
+
+def jit(fn):
+    """The Numba-compiled version of a raw kernel, compiled on first use.
+
+    Raises when Numba is unavailable — callers gate on
+    :func:`native_available` first.
+    """
+    compiled = _COMPILED.get(fn)
+    if compiled is None:
+        numba = numba_or_none()
+        if numba is None:
+            raise RuntimeError("numba is unavailable; native kernels cannot compile")
+        compiled = numba.njit(cache=True)(fn)
+        _COMPILED[fn] = compiled
+    return compiled
+
+
+# -- adapters: step_batch / transition_batch signatures -------------------------------
+
+
+def _ag_adapter(stage, round_index, state, csr, visibility):
+    np = numpy_or_none()
+    a, b = state
+    new_a = np.empty_like(a)
+    new_b = np.empty_like(b)
+    jit(ag_round)(csr.indptr, csr.indices, a, b, stage.q, new_a, new_b)
+    return (new_a, new_b)
+
+
+def _ag3_adapter(stage, round_index, state, csr, visibility):
+    np = numpy_or_none()
+    c, b, a = state
+    new_c = np.empty_like(c)
+    new_b = np.empty_like(b)
+    new_a = np.empty_like(a)
+    jit(ag3_round)(csr.indptr, csr.indices, c, b, a, stage.p, new_c, new_b, new_a)
+    return (new_c, new_b, new_a)
+
+
+def _agn_adapter(stage, round_index, state, csr, visibility):
+    np = numpy_or_none()
+    b, a = state
+    new_b = np.empty_like(b)
+    new_a = np.empty_like(a)
+    jit(agn_round)(csr.indptr, csr.indices, b, a, stage.modulus, new_b, new_a)
+    return (new_b, new_a)
+
+
+# All three AG-family rules are existence-based over the neighbor multiset,
+# so one kernel serves both LOCAL and SET-LOCAL visibility (the same
+# argument the NumPy kernels rely on).
+_ENGINE_ADAPTERS = {
+    "additive-group": _ag_adapter,
+    "3ag": _ag3_adapter,
+    "ag-zn": _agn_adapter,
+}
+
+
+def engine_kernel_for(stage):
+    """A native ``step_batch`` replacement for ``stage``, or None.
+
+    None means "no coverage": Numba missing/disabled, or the stage is not
+    one of the fused AG-family kernels — the engine then runs the ordinary
+    NumPy batch round (the ``batch`` tier of the fallback order).
+    """
+    if not native_available():
+        return None
+    return _ENGINE_ADAPTERS.get(getattr(stage, "name", None))
+
+
+def _selfstab_coloring_adapter(algorithm, state, ctx):
+    np = ctx.np
+    (colors,) = state
+    plan = algorithm.plan
+    # Steady state only: every color in the core interval I_0 = [0, q*q).
+    # (offsets[0] == 0 by construction.)  Outside it — during cold-start
+    # descent or right after a corruption burst — decline and let the full
+    # NumPy round handle the interval plan.
+    if colors.size and not bool(((colors >= 0) & (colors < plan.offsets[1])).all()):
+        return None
+    new = np.empty_like(colors)
+    jit(selfstab_core_round)(
+        ctx.csr.indptr,
+        ctx.csr.indices,
+        colors,
+        algorithm.q,
+        plan.offsets[plan.levels - 1],
+        ctx.vertices,
+        new,
+    )
+    return (new,), colors != new
+
+
+_SELFSTAB_ADAPTERS = {
+    "selfstab-coloring": _selfstab_coloring_adapter,
+}
+
+
+def selfstab_kernel_for(algorithm):
+    """A native ``transition_batch`` replacement for ``algorithm``, or None.
+
+    The adapter itself may also return None per round (partial coverage);
+    the engine falls back to the algorithm's NumPy kernel for that round.
+    """
+    if not native_available():
+        return None
+    return _SELFSTAB_ADAPTERS.get(getattr(algorithm, "name", None))

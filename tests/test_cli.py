@@ -207,6 +207,37 @@ class TestParallelCommands:
         assert engine_runs and all("job" in r for r in engine_runs)
         assert any(r.get("type") == "snapshot" for r in records)
 
+    def test_color_workers_flag(self):
+        code, text = run_cli(
+            ["color", "--n", "48", "--degree", "4", "--seeds", "2", "--workers", "2"]
+        )
+        assert code == 0
+        assert "jobs: 2 ok, 0 failed" in text
+
+    def test_sweep_workers_flag(self):
+        code, text = run_cli(
+            ["sweep", "--n", "32,48", "--degree", "4", "--seeds", "2", "--workers", "2"]
+        )
+        assert code == 0
+        assert "jobs: 4 ok, 0 failed" in text
+
+    def test_jobs_alias_still_works_but_warns(self):
+        with pytest.warns(DeprecationWarning, match="--jobs is deprecated"):
+            code, text = run_cli(
+                ["sweep", "--n", "32", "--degree", "4", "--seeds", "2", "--jobs", "2"]
+            )
+        assert code == 0
+        assert "jobs: 2 ok, 0 failed" in text
+
+    def test_workers_wins_over_jobs_alias(self):
+        with pytest.warns(DeprecationWarning, match="--jobs is deprecated"):
+            code, text = run_cli(
+                ["color", "--n", "48", "--degree", "4", "--seeds", "2",
+                 "--workers", "2", "--jobs", "4"]
+            )
+        assert code == 0
+        assert "jobs: 2 ok, 0 failed" in text
+
     def test_sweep_unknown_algorithm_fails_cleanly(self):
         code, text = run_cli(
             ["sweep", "--n", "24", "--degree", "4", "--algorithm", "nope"]

@@ -1,0 +1,275 @@
+"""The optional Numba kernel backend: raw-kernel parity and fallback order.
+
+The raw kernels in :mod:`repro.runtime.native` are plain-Python loop
+functions, so their logic is verifiable on machines without Numba — the
+differential classes here run each raw kernel against the corresponding
+``step_batch`` / ``transition_batch_colors`` array kernel round by round
+and require bit-identity.  The remaining classes pin the fallback order
+``numba -> batch -> reference``: engine construction through the registry,
+the env knobs, and graceful degradation when Numba is absent.
+"""
+
+import pytest
+
+from repro import graphgen
+from repro.core import AdditiveGroupColoring, AdditiveGroupZN, ThreeDimensionalAG
+from repro.runtime import BatchColoringEngine, ColoringEngine, Visibility
+from repro.runtime.algorithm import NetworkInfo
+from repro.runtime.backends import backend_names, resolve_backend
+from repro.runtime.csr import numpy_available, numpy_or_none
+from repro.runtime.native import (
+    ag3_round,
+    ag_round,
+    agn_round,
+    engine_kernel_for,
+    jit,
+    native_available,
+    native_default,
+    selfstab_core_round,
+    selfstab_kernel_for,
+)
+
+
+def _skip_without_numpy():
+    if not numpy_available():
+        pytest.skip("NumPy unavailable (or disabled via REPRO_DISABLE_NUMPY)")
+
+
+def _configured(stage_cls, graph, palette):
+    stage = stage_cls()
+    stage.configure(NetworkInfo(graph.n, graph.max_degree, palette))
+    return stage
+
+
+class TestRawKernelParity:
+    """Each raw loop kernel mirrors its stage's step_batch bit for bit."""
+
+    def test_ag_round_matches_step_batch(self):
+        _skip_without_numpy()
+        np = numpy_or_none()
+        graph = graphgen.random_regular(60, 6, seed=5)
+        stage = _configured(AdditiveGroupColoring, graph, graph.n)
+        csr = graph.csr()
+        state = stage.batch_encode_initial(np.arange(graph.n, dtype=np.int64))
+        for round_index in range(6):
+            expected = stage.step_batch(round_index, state, csr, Visibility.LOCAL)
+            a, b = state
+            new_a, new_b = np.empty_like(a), np.empty_like(b)
+            ag_round(csr.indptr, csr.indices, a, b, stage.q, new_a, new_b)
+            assert new_a.tolist() == expected[0].tolist()
+            assert new_b.tolist() == expected[1].tolist()
+            state = expected
+
+    def test_ag3_round_matches_step_batch(self):
+        _skip_without_numpy()
+        np = numpy_or_none()
+        graph = graphgen.gnp_graph(50, 0.15, seed=6)
+        stage = _configured(ThreeDimensionalAG, graph, graph.n)
+        csr = graph.csr()
+        state = stage.batch_encode_initial(np.arange(graph.n, dtype=np.int64))
+        for round_index in range(8):
+            expected = stage.step_batch(round_index, state, csr, Visibility.LOCAL)
+            c, b, a = state
+            new = tuple(np.empty_like(x) for x in state)
+            ag3_round(csr.indptr, csr.indices, c, b, a, stage.p, *new)
+            for got, want in zip(new, expected):
+                assert got.tolist() == want.tolist()
+            state = expected
+
+    def test_agn_round_matches_step_batch(self):
+        _skip_without_numpy()
+        np = numpy_or_none()
+        graph = graphgen.random_regular(48, 6, seed=7)
+        palette = 2 * (graph.max_degree + 1)
+        stage = _configured(AdditiveGroupZN, graph, palette)
+        csr = graph.csr()
+        # Proper greedy coloring with ~half the classes shifted into the
+        # working band, as the differential suite's spread initial does.
+        colors = [None] * graph.n
+        for v in range(graph.n):
+            used = {colors[u] for u in graph.neighbors(v) if colors[u] is not None}
+            colors[v] = min(c for c in range(graph.max_degree + 1) if c not in used)
+        modulus = graph.max_degree + 1
+        initial = np.asarray(
+            [c + modulus if c % 2 else c for c in colors], dtype=np.int64
+        )
+        state = stage.batch_encode_initial(initial)
+        for round_index in range(8):
+            expected = stage.step_batch(round_index, state, csr, Visibility.LOCAL)
+            b, a = state
+            new_b, new_a = np.empty_like(b), np.empty_like(a)
+            agn_round(csr.indptr, csr.indices, b, a, stage.modulus, new_b, new_a)
+            assert new_b.tolist() == expected[0].tolist()
+            assert new_a.tolist() == expected[1].tolist()
+            state = expected
+
+    def test_selfstab_core_round_matches_transition_batch(self):
+        _skip_without_numpy()
+        import random
+
+        np = numpy_or_none()
+        from repro.runtime.csr import CSRAdjacency
+        from repro.runtime.graph import DynamicGraph
+        from repro.selfstab import SelfStabColoring
+        from repro.selfstab.kernels import BatchContext
+
+        n, delta = 40, 6
+        graph = DynamicGraph(n, delta)
+        rng = random.Random(9)
+        for v in range(n):
+            graph.add_vertex(v)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.12 and graph.degree(u) < delta and graph.degree(v) < delta:
+                    graph.add_edge(u, v)
+        algorithm = SelfStabColoring(n, delta)
+        csr, verts = CSRAdjacency.from_dynamic(graph)
+        ctx = BatchContext(np, csr, verts, False, algorithm, lambda: None)
+        q = algorithm.q
+        core_top = algorithm.plan.offsets[1]
+        reset_base = algorithm.plan.offsets[algorithm.plan.levels - 1]
+        colors = np.asarray(
+            [rng.randrange(core_top) for _ in range(csr.n)], dtype=np.int64
+        )
+        checked = 0
+        for _ in range(30):
+            in_core = bool(((colors >= 0) & (colors < core_top)).all())
+            expected = algorithm.transition_batch_colors(colors, ctx)
+            if in_core:
+                new = np.empty_like(colors)
+                selfstab_core_round(
+                    csr.indptr, csr.indices, colors, q, reset_base, verts, new
+                )
+                assert new.tolist() == expected.tolist()
+                checked += 1
+            colors = expected
+        assert checked >= 5, "steady-state rounds never materialized"
+
+
+class TestFallbackOrder:
+    def test_registry_lists_numba_for_both_kinds(self):
+        assert "numba" in backend_names("engine")
+        assert "numba" in backend_names("selfstab")
+
+    def test_engine_numba_backend_without_numba_matches_batch(self):
+        _skip_without_numpy()
+        from repro.recipes import delta_plus_one_coloring
+
+        graph = graphgen.random_regular(60, 6, seed=3)
+        via_numba = delta_plus_one_coloring(graph, backend="numba")
+        via_batch = delta_plus_one_coloring(graph, backend="batch")
+        assert via_numba.to_dict() == via_batch.to_dict()
+
+    def test_engine_numba_factory_sets_native_flag(self):
+        _skip_without_numpy()
+        graph = graphgen.random_regular(20, 4, seed=1)
+        engine = resolve_backend("engine", "numba")(graph)
+        assert isinstance(engine, BatchColoringEngine)
+        assert engine.native is True
+
+    def test_engine_numba_degrades_to_reference_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        graph = graphgen.random_regular(20, 4, seed=1)
+        engine = resolve_backend("engine", "numba")(graph)
+        assert isinstance(engine, ColoringEngine)
+        assert not isinstance(engine, BatchColoringEngine)
+
+    def test_selfstab_numba_factory_sets_native_flag(self):
+        _skip_without_numpy()
+        import random
+
+        from repro.runtime.graph import DynamicGraph
+        from repro.selfstab import BatchSelfStabEngine, SelfStabColoring
+
+        graph = DynamicGraph(10, 4)
+        for v in range(10):
+            graph.add_vertex(v)
+        engine = resolve_backend("selfstab", "numba")(graph, SelfStabColoring(10, 4))
+        assert isinstance(engine, BatchSelfStabEngine)
+        assert engine.native is True
+
+    def test_native_engine_without_numba_is_bit_identical(self):
+        """native=True with no Numba silently runs the ordinary batch rounds."""
+        _skip_without_numpy()
+        if native_available():
+            pytest.skip("covers the no-numba degradation tier")
+        np = numpy_or_none()
+        graph = graphgen.random_regular(60, 6, seed=3)
+        plain = BatchColoringEngine(graph, record_history=True)
+        forced = BatchColoringEngine(graph, record_history=True, native=True)
+        initial = list(range(graph.n))
+        ref = plain.run(AdditiveGroupColoring(), initial, in_palette_size=graph.n)
+        nat = forced.run(AdditiveGroupColoring(), initial, in_palette_size=graph.n)
+        assert nat.colors == ref.colors
+        assert nat.history == ref.history
+        assert nat.rounds_used == ref.rounds_used
+
+
+class TestEnvKnobs:
+    def test_native_default_follows_repro_native(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        assert native_default() is False
+        monkeypatch.setenv("REPRO_NATIVE", "1")
+        assert native_default() is True
+
+    def test_disable_env_hides_numba(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMBA", "1")
+        assert native_available() is False
+        stage = AdditiveGroupColoring()
+        assert engine_kernel_for(stage) is None
+
+    def test_jit_raises_without_numba(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMBA", "1")
+        with pytest.raises(RuntimeError, match="numba is unavailable"):
+            jit(ag_round)
+
+    def test_kernel_lookup_covers_only_known_names(self):
+        if not native_available():
+            pytest.skip("adapter lookup requires Numba")
+        assert engine_kernel_for(AdditiveGroupColoring()) is not None
+        assert engine_kernel_for(object()) is None
+
+
+@pytest.mark.skipif(not native_available(), reason="Numba not installed")
+class TestCompiledKernels:
+    """Only runs on machines with Numba (CI's optional-deps job)."""
+
+    def test_compiled_ag_round_matches_raw(self):
+        _skip_without_numpy()
+        np = numpy_or_none()
+        graph = graphgen.random_regular(40, 4, seed=2)
+        stage = _configured(AdditiveGroupColoring, graph, graph.n)
+        csr = graph.csr()
+        a, b = stage.batch_encode_initial(np.arange(graph.n, dtype=np.int64))
+        raw = (np.empty_like(a), np.empty_like(b))
+        compiled = (np.empty_like(a), np.empty_like(b))
+        ag_round(csr.indptr, csr.indices, a, b, stage.q, *raw)
+        jit(ag_round)(csr.indptr, csr.indices, a, b, stage.q, *compiled)
+        assert compiled[0].tolist() == raw[0].tolist()
+        assert compiled[1].tolist() == raw[1].tolist()
+
+    def test_native_engine_bit_identical_to_batch(self):
+        _skip_without_numpy()
+        from repro.recipes import delta_plus_one_coloring
+
+        graph = graphgen.random_regular(60, 6, seed=3)
+        assert (
+            delta_plus_one_coloring(graph, backend="numba").to_dict()
+            == delta_plus_one_coloring(graph, backend="batch").to_dict()
+        )
+
+    def test_native_selfstab_counts_native_rounds(self):
+        _skip_without_numpy()
+        from repro import obs
+        from repro.runtime.graph import DynamicGraph
+        from repro.selfstab import SelfStabColoring
+
+        graph = DynamicGraph(16, 4)
+        for v in range(16):
+            graph.add_vertex(v)
+        for v in range(15):
+            graph.add_edge(v, v + 1)
+        engine = resolve_backend("selfstab", "numba")(graph, SelfStabColoring(16, 4))
+        with obs.capture() as tel:
+            engine.run_to_quiescence()
+        assert tel.counter_value("selfstab.native_rounds", algorithm="selfstab-coloring") > 0
