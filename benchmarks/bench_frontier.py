@@ -1,0 +1,299 @@
+"""[E-FRONTIER] Table-1 frontier sweep: every vectorized module, batch vs reference.
+
+One sweep over the full registered-algorithm surface — the paper pipeline's
+k-knob family plus the long tail vectorized onto the CSR batch engine
+(baselines, defective, edge, bitround) — measuring, per algorithm and
+topology, the four frontier axes of Table 1:
+
+* **rounds** — the algorithm's own round notion (communication rounds,
+  sequential visits for the greedy oracle, stabilization rounds, ...);
+* **palette** — distinct colors in the final coloring (``num_colors``);
+* **bandwidth** — the exact per-edge bit ledger where the module meters one
+  (``bitround``, ``edge``), otherwise the CONGEST message-width bound
+  ``ceil(log2 n)``;
+* **wall-clock** — reference tier vs batch tier, plus their ratio.
+
+Every row is measured through :func:`repro.parallel.jobs.resolve_algorithm`
+— the same registry ``repro.run`` / ``run_sweep`` / the CLI dispatch into —
+and asserts the two tiers' ``to_dict()`` summaries are bit-for-bit equal
+before recording a single number.
+
+Grid sizes: vertex modules run the acceptance point n=20000 / Delta=64.
+The edge, bitround and bitround-edge modules run their largest
+*re-measurable* points instead (n=4000 / Delta=24, n=4000 / Delta=16 and
+n=2000 / Delta=16): their reference tiers push every message through real
+per-edge channel/replica objects, so the full grid would stop being
+regenerable — the bitround reference at n=20000 / Delta=64 runs for ~11
+minutes (measured once: 650s reference vs 0.35s batch, ~1860x), and the
+edge reference executes on the line graph (~``n * Delta^2 / 2`` edges).
+The committed points already clear 5x and the ratios grow with size.
+
+The ``one-plus-eps-k*`` / ``sublinear-k4`` rows sweep the Maus-style ``k``
+knob (O(k*Delta) colors vs O(Delta/k) + log* n rounds) on one small
+topology — the rounds/palette trade-off is the datum, not the wall clock.
+
+Run directly (``python benchmarks/bench_frontier.py``), via pytest
+(``pytest benchmarks/bench_frontier.py -s``), or as the CI smoke check
+(``python benchmarks/bench_frontier.py --smoke``: the smallest point of
+every algorithm, parity asserted, nothing written).  The committed
+``BENCH_frontier.json`` at the repo root is regression-gated by
+``check_regression.py``.
+"""
+
+import json
+import math
+import os
+import sys
+import time
+
+import pytest
+
+from bench_util import report
+
+from repro.graphgen import random_regular
+from repro.parallel.jobs import resolve_algorithm
+from repro.runtime.csr import numpy_available
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_frontier.json")
+
+# Row label -> (registry algorithm, fixed params).  The label is the entry
+# key in BENCH_frontier.json (one algorithm may appear under several knob
+# settings).
+ROWS = {
+    "greedy": ("greedy", {}),
+    "random-trial": ("random-trial", {}),
+    "bek": ("bek", {}),
+    "kuhn-wattenhofer": ("kuhn-wattenhofer", {}),
+    "defective": ("defective", {}),
+    "selfstab-rank": ("selfstab-rank", {}),
+    "one-plus-eps-k1": ("one-plus-eps", {"k": 1}),
+    "one-plus-eps-k2": ("one-plus-eps", {"k": 2}),
+    "one-plus-eps-k4": ("one-plus-eps", {"k": 4}),
+    "one-plus-eps-k8": ("one-plus-eps", {"k": 8}),
+    "sublinear-k4": ("sublinear", {"k": 4}),
+    "edge": ("edge", {}),
+    "bitround": ("bitround", {}),
+    "bitround-edge": ("bitround-edge", {}),
+}
+
+SMALL = (2000, 16)
+HEADLINE = (20000, 64)
+
+# (label, n, Delta) — the flat grid; check_regression's smoke mode keeps the
+# smallest (n, Delta) per label so every kernel still gets exercised.
+GRID = (
+    ("greedy",) + SMALL,
+    ("greedy",) + HEADLINE,
+    ("random-trial",) + SMALL,
+    ("random-trial",) + HEADLINE,
+    ("bek",) + SMALL,
+    ("bek",) + HEADLINE,
+    ("kuhn-wattenhofer",) + SMALL,
+    ("kuhn-wattenhofer",) + HEADLINE,
+    ("defective",) + SMALL,
+    ("defective",) + HEADLINE,
+    ("selfstab-rank",) + SMALL,
+    ("selfstab-rank",) + HEADLINE,
+    ("one-plus-eps-k1",) + SMALL,
+    ("one-plus-eps-k2",) + SMALL,
+    ("one-plus-eps-k4",) + SMALL,
+    ("one-plus-eps-k8",) + SMALL,
+    ("sublinear-k4",) + SMALL,
+    ("edge", 600, 8),
+    ("edge", 4000, 24),
+    ("bitround", 600, 8),
+    ("bitround", 4000, 16),
+    ("bitround-edge", 600, 8),
+    ("bitround-edge",) + SMALL,
+)
+
+# The modules this PR vectorized must clear 5x at their largest grid point.
+SPEEDUP_FLOOR = 5.0
+NEW_MODULES = (
+    "greedy",
+    "random-trial",
+    "bek",
+    "kuhn-wattenhofer",
+    "defective",
+    "selfstab-rank",
+    "edge",
+    "bitround",
+    "bitround-edge",
+)
+
+
+def _bits(x):
+    return max(1, int(math.ceil(math.log2(max(2, x)))))
+
+
+def _bandwidth_bits(result, n):
+    """Exact bit ledger when the module meters one, else the width bound."""
+    total = getattr(result, "total_bit_rounds", None)
+    if total is None:
+        total = getattr(result, "total_bits_per_edge", None)
+    if total is not None:
+        return int(total)
+    return _bits(max(2, n))
+
+
+_GRAPHS = {}
+
+
+def _graph(n, delta):
+    """One seeded Delta-regular topology per size, CSR pre-warmed and cached
+    so generator cost never leaks into either tier's timing."""
+    key = (n, delta)
+    if key not in _GRAPHS:
+        graph = random_regular(n, delta, seed=n + delta)
+        if numpy_available():
+            graph.csr()
+        _GRAPHS[key] = graph
+    return _GRAPHS[key]
+
+
+def run_grid(grid=GRID):
+    """Measure the (label, n, Delta) triples; assert cross-tier parity."""
+    entries = []
+    for label, n, delta in grid:
+        algorithm, params = ROWS[label]
+        fn = resolve_algorithm(algorithm)
+        graph = _graph(n, delta)
+        start = time.perf_counter()
+        batch = fn(graph, backend="batch", seed=7, **params)
+        batch_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        reference = fn(graph, backend="reference", seed=7, **params)
+        ref_elapsed = time.perf_counter() - start
+        if reference.to_dict() != batch.to_dict():
+            raise AssertionError(
+                "tier mismatch for %s at n=%d Delta=%d" % (label, n, delta)
+            )
+        entries.append(
+            {
+                "algorithm": label,
+                "n": n,
+                "delta": delta,
+                "m": graph.m,
+                "rounds": batch.rounds,
+                "num_colors": batch.num_colors,
+                "bandwidth_bits": _bandwidth_bits(batch, n),
+                "reference_seconds": round(ref_elapsed, 6),
+                "batch_seconds": round(batch_elapsed, 6),
+                "speedup": round(ref_elapsed / max(batch_elapsed, 1e-9), 2),
+            }
+        )
+    return entries
+
+
+def write_results(entries):
+    """Persist BENCH_frontier.json (repo root) and the human-readable table."""
+    payload = {
+        "benchmark": "frontier-sweep",
+        "units": {
+            "seconds": "wall clock",
+            "speedup": "reference/batch",
+            "bandwidth_bits": "exact ledger (bitround/edge) or "
+            "ceil(log2 n) message width",
+        },
+        "entries": entries,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    rows = [
+        (
+            e["algorithm"],
+            e["n"],
+            e["delta"],
+            e["rounds"],
+            e["num_colors"],
+            e["bandwidth_bits"],
+            round(e["reference_seconds"] * 1000, 1),
+            round(e["batch_seconds"] * 1000, 1),
+            "%.1fx" % e["speedup"],
+        )
+        for e in entries
+    ]
+    report(
+        "E-FRONTIER",
+        "Table-1 frontier sweep: rounds / palette / bandwidth / wall clock "
+        "per registered algorithm, reference vs batch",
+        ("algorithm", "n", "Delta", "rounds", "colors", "bits",
+         "ref ms", "batch ms", "speedup"),
+        rows,
+        notes="BENCH_frontier.json at the repo root carries the same data "
+        "machine-readably; check_regression.py gates it per "
+        "(algorithm, n, Delta).",
+    )
+    return payload
+
+
+def _largest_point(entries, label):
+    rows = [e for e in entries if e["algorithm"] == label]
+    return max(rows, key=lambda e: (e["n"], e["delta"])) if rows else None
+
+
+@pytest.mark.requires_numpy
+def test_frontier_grid():
+    if not numpy_available():
+        pytest.skip("NumPy unavailable (or disabled via REPRO_DISABLE_NUMPY)")
+    entries = run_grid()
+    write_results(entries)
+    for label in NEW_MODULES:
+        entry = _largest_point(entries, label)
+        assert entry is not None, label
+        assert entry["speedup"] >= SPEEDUP_FLOOR, (label, entry)
+    # The k knob trades palette for rounds, Maus-style: larger k buys a
+    # smaller conflict budget — more colors, fewer conflict rounds.
+    knob = sorted(
+        (e for e in entries if e["algorithm"].startswith("one-plus-eps-k")),
+        key=lambda e: int(e["algorithm"].rsplit("k", 1)[1]),
+    )
+    assert len(knob) == 4
+    assert knob[0]["num_colors"] <= knob[-1]["num_colors"]
+
+
+def _smoke():
+    grid = {}
+    for label, n, delta in GRID:
+        grid.setdefault(label, (label, n, delta))
+    points = sorted(grid.values())
+    if not numpy_available():
+        # No-NumPy job: the batch tier (the timing subject) is absent, but
+        # the whole registered surface still runs on the scalar tier.
+        for label, n, delta in points:
+            algorithm, params = ROWS[label]
+            result = resolve_algorithm(algorithm)(
+                _graph(n, delta), backend="reference", seed=7, **params
+            )
+            print(
+                "smoke %-16s n=%-6d Delta=%-3d rounds=%-6s colors=%-5s "
+                "(reference tier)"
+                % (label, n, delta, result.rounds, result.num_colors)
+            )
+        print("frontier smoke OK: %d algorithms, scalar tier" % len(points))
+        return
+    entries = run_grid(points)
+    for entry in entries:
+        print(
+            "smoke %-16s n=%-6d Delta=%-3d rounds=%-6s colors=%-5s %0.1fx"
+            % (
+                entry["algorithm"],
+                entry["n"],
+                entry["delta"],
+                entry["rounds"],
+                entry["num_colors"],
+                entry["speedup"],
+            )
+        )
+    print("frontier smoke OK: %d algorithms, parity asserted" % len(entries))
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        _smoke()
+    elif not numpy_available():
+        raise SystemExit("NumPy unavailable; install with `pip install repro[fast]`")
+    else:
+        write_results(run_grid())

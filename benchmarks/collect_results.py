@@ -59,6 +59,7 @@ ORDER = [
     "E-PIPELINE",
     "E-SELFSTAB-SPEED",
     "E-PARALLEL",
+    "E-FRONTIER",
 ]
 
 

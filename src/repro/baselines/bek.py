@@ -26,7 +26,7 @@ from repro.analysis.invariants import coloring_defect, is_proper_coloring
 from repro.core.reductions import StandardColorReduction
 from repro.defective.vertex import DefectiveLinialColoring
 from repro.linial.core import LinialColoring
-from repro.runtime.engine import ColoringEngine
+from repro.runtime.csr import numpy_or_none
 
 __all__ = ["BEKResult", "bek_delta_plus_one"]
 
@@ -63,11 +63,17 @@ class BEKResult:
         )
 
 
-def _base_case(graph):
+def _make_engine(graph, backend):
+    from repro.runtime.backends import resolve_backend
+
+    return resolve_backend("engine", backend)(graph)
+
+
+def _base_case(graph, backend):
     """Small Delta: Linial + standard reduction (both O(Delta^2)-cheap here)."""
     if graph.n == 0:
         return [], 0
-    engine = ColoringEngine(graph)
+    engine = _make_engine(graph, backend)
     linial = LinialColoring()
     first = engine.run(linial, list(range(graph.n)))
     reduction = StandardColorReduction()
@@ -77,17 +83,17 @@ def _base_case(graph):
     return second.int_colors, first.rounds_used + second.rounds_used
 
 
-def _recursive_color(graph, depth, parent_delta=None):
+def _recursive_color(graph, depth, parent_delta=None, backend="auto"):
     """Proper (Delta_G + 1)-coloring of ``graph``; returns (colors, rounds, depth)."""
     delta = graph.max_degree
     stuck = parent_delta is not None and delta >= parent_delta
     if delta <= _BASE_DELTA or graph.n <= _BASE_DELTA + 2 or stuck:
-        colors, rounds = _base_case(graph)
+        colors, rounds = _base_case(graph, backend)
         return colors, rounds, depth
 
     # Stage 1: p-defective coloring with p = Delta / 4.
     tolerance = max(1, delta // 4)
-    engine = ColoringEngine(graph)
+    engine = _make_engine(graph, backend)
     defective = DefectiveLinialColoring(tolerance)
     dres = engine.run(defective, list(range(graph.n)))
     class_of = dres.int_colors
@@ -95,14 +101,18 @@ def _recursive_color(graph, depth, parent_delta=None):
     rounds = dres.rounds_used
 
     # Stage 2: recurse on the classes in parallel.
+    np = None if backend == "reference" else numpy_or_none()
     sub_results = {}
     deepest = depth
     max_sub_rounds = 0
     for cid in class_ids:
         members = [v for v in graph.vertices() if class_of[v] == cid]
-        subgraph, index = graph.subgraph(members)
+        if np is not None:
+            subgraph, index = _induced_subgraph(np, graph, members)
+        else:
+            subgraph, index = graph.subgraph(members)
         sub_colors, sub_rounds, sub_depth = _recursive_color(
-            subgraph, depth + 1, parent_delta=delta
+            subgraph, depth + 1, parent_delta=delta, backend=backend
         )
         sub_results[cid] = (members, index, sub_colors)
         max_sub_rounds = max(max_sub_rounds, sub_rounds)
@@ -111,6 +121,8 @@ def _recursive_color(graph, depth, parent_delta=None):
 
     # Stage 3: sequential merge — class by class, level by level, greedy
     # picks from [0, Delta] avoiding committed neighbors.
+    if np is not None:
+        return _merge_batch(np, graph, class_ids, sub_results, rounds, deepest)
     final = [None] * graph.n
     for cid in class_ids:
         members, index, sub_colors = sub_results[cid]
@@ -131,12 +143,74 @@ def _recursive_color(graph, depth, parent_delta=None):
     return final, rounds, deepest
 
 
-def bek_delta_plus_one(graph):
+def _induced_subgraph(np, graph, members):
+    """``graph.subgraph(members)`` with the edge filter done on CSR arrays.
+
+    Produces the identical :class:`StaticGraph` (the constructor sorts and
+    dedups) and the identical index map; only the per-edge Python filter —
+    the recursion's dominant cost on large graphs — is vectorized.
+    """
+    from repro.runtime.graph import StaticGraph
+
+    ordered = sorted(set(members))
+    index = {v: i for i, v in enumerate(ordered)}
+    csr = graph.csr()
+    mask = np.zeros(graph.n, dtype=bool)
+    mask[np.asarray(ordered, dtype=np.int64)] = True
+    compact = np.cumsum(mask) - 1
+    keep = mask[csr.edge_u] & mask[csr.edge_v]
+    sub_u = compact[csr.edge_u[keep]]
+    sub_v = compact[csr.edge_v[keep]]
+    edges = list(zip(sub_u.tolist(), sub_v.tolist()))
+    ids = [graph.ids[v] for v in ordered]
+    return StaticGraph(len(ordered), edges, ids=ids), index
+
+
+def _merge_batch(np, graph, class_ids, sub_results, rounds, deepest):
+    """Vectorized stage 3: identical sweeps, one occupancy matrix per round.
+
+    Vertices acting in one (class, level) round are pairwise non-adjacent —
+    the sub-coloring is proper on the induced class subgraph — so the
+    sequential member loop and the parallel repick commit identical colors,
+    and the round accounting (one round per class level) is unchanged.
+    """
+    csr = graph.csr()
+    palette = graph.max_degree + 1
+    final = np.full(graph.n, -1, dtype=np.int64)
+    for cid in class_ids:
+        members, index, sub_colors = sub_results[cid]
+        members_arr = np.asarray(members, dtype=np.int64)
+        level_of = np.asarray(
+            [sub_colors[index[v]] for v in members], dtype=np.int64
+        )
+        levels = (max(sub_colors) + 1) if sub_colors else 0
+        for level in range(levels):
+            acting = members_arr[level_of == level]
+            count = acting.size
+            if count:
+                mask = np.zeros(graph.n, dtype=bool)
+                mask[acting] = True
+                compact = np.cumsum(mask) - 1
+                sel = mask[csr.rows]
+                nbr_color = final[csr.indices[sel]]
+                owner = compact[csr.rows[sel]]
+                seen = nbr_color >= 0
+                occupied = np.zeros((count, palette), dtype=bool)
+                occupied[owner[seen], nbr_color[seen]] = True
+                final[acting] = np.argmin(occupied, axis=1)
+            rounds += 1
+    return final.tolist(), rounds, deepest
+
+
+def bek_delta_plus_one(graph, backend="auto"):
     """The [5, 44, 9]-style (Delta+1)-coloring; returns a :class:`BEKResult`.
 
     The output is verified proper and within ``[0, Delta]`` before returning.
+    ``backend`` selects the execution tier for every internal engine run and
+    the merge sweeps (``auto``/``batch``/``numba``/``reference``); results
+    are bit-identical across backends.
     """
-    colors, rounds, depth = _recursive_color(graph, 0)
+    colors, rounds, depth = _recursive_color(graph, 0, backend=backend)
     if graph.n:
         assert is_proper_coloring(graph, colors)
         assert max(colors) <= graph.max_degree

@@ -81,3 +81,84 @@ class KuhnWattenhoferReduction(LocallyIterativeColoring):
 
     def is_final(self, color):
         return False  # progress is schedule-driven; run the full bound
+
+    @property
+    def uniform_after(self):
+        """Past the halving schedule the step is the identity (uniform tail)."""
+        self._require_configured()
+        return (len(self.palette_schedule) - 1) * self.block
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: the current color as a single int64 array.  Each sub-round only
+    # the acting local class of each 2N-block repicks, off a boolean
+    # occupancy matrix scattered from the same-block neighbor colors (only
+    # locals below N matter: candidates come from [0, N)).  Membership is
+    # existence-only, so the kernel is identical in LOCAL and SET-LOCAL.
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial`` (identity, like the scalar path)."""
+        return (initial,)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: per-block greedy repick of the acting class."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        (colors,) = state
+        n_colors = self.block
+        iteration = round_index // n_colors
+        sub_round = round_index % n_colors
+        if iteration >= len(self.palette_schedule) - 1:
+            return state
+
+        two_n = 2 * n_colors
+        block_index = colors // two_n
+        local = colors % two_n
+        acting_local = two_n - 1 - sub_round
+        acting = local == acting_local  # acting_local >= N always holds
+        count = int(acting.sum())
+        new_local = local
+        if count:
+            compact = np.cumsum(acting) - 1
+            occupied = np.zeros((count, n_colors), dtype=bool)
+            slot_sel = acting[csr.rows]
+            neighbor = csr.gather(colors)[slot_sel]
+            owner_rows = csr.rows[slot_sel]
+            base = block_index[owner_rows] * two_n
+            nbr_local = neighbor - base
+            in_block = (nbr_local >= 0) & (nbr_local < n_colors)
+            occupied[compact[owner_rows[in_block]], nbr_local[in_block]] = True
+            if bool(occupied.all(axis=1).any()):
+                # The scalar step's min() over an empty candidate range —
+                # impossible for a proper input; replay for the exact error.
+                from repro.runtime.fast_engine import scalar_replay_round
+
+                scalar_replay_round(
+                    self, round_index, colors.tolist(), csr, visibility
+                )
+                raise AssertionError(
+                    "batch KW kernel rejected a round the scalar step accepts"
+                )
+            new_local = local.copy()
+            new_local[acting] = np.argmin(occupied, axis=1)
+        if sub_round == n_colors - 1:
+            return (block_index * n_colors + new_local,)
+        if count == 0:
+            return state
+        return (block_index * two_n + new_local,)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final`` (never final, like the scalar path)."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        return np.zeros(state[0].shape[0], dtype=bool)
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final`` (identity, like the scalar path)."""
+        return state[0]
+
+    def batch_to_scalar(self, state):
+        """The state as the scalar engine's plain-int color list."""
+        return state[0].tolist()

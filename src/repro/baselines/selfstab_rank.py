@@ -10,14 +10,19 @@ O(Delta + log* n) algorithms.
 """
 
 from repro.selfstab.engine import SelfStabAlgorithm
+from repro.selfstab.kernels import ColorBatchOps
 
 __all__ = ["RankGreedySelfStabColoring"]
 
 
-class RankGreedySelfStabColoring(SelfStabAlgorithm):
+class RankGreedySelfStabColoring(ColorBatchOps, SelfStabAlgorithm):
     """Conflict -> lower-ID endpoint re-picks greedily. Theta(n) stabilization."""
 
     name = "selfstab-rank-greedy"
+
+    # visible() broadcasts (id, color), so the CONGEST meter needs the
+    # original vertex ids next to the color column (see BatchSelfStabEngine).
+    batch_payload_wants_ids = True
 
     def __init__(self, n_bound, delta_bound):
         super().__init__(n_bound, delta_bound)
@@ -59,3 +64,86 @@ class RankGreedySelfStabColoring(SelfStabAlgorithm):
 
     def stabilization_bound(self):
         return 4 * self.n_bound + 16
+
+    # -- batch protocol (see repro.selfstab.fast_engine) -------------------------
+    #
+    # One int64 color column.  Non-int garbage encodes to the sentinel, which
+    # (like the scalar path's broadcast -1) lies outside [0, palette) and
+    # equals no valid color, so validity, conflict, and taken-set tests all
+    # agree with the scalar transition.  Bool RAM is *exotic*: the scalar
+    # path keeps the bool object in RAM and charges it 1 payload bit, which a
+    # plain int column cannot reproduce — those rounds run scalar.
+
+    def batch_encode(self, raws, np):
+        encoded = ColorBatchOps.batch_encode(self, raws, np)
+        if encoded is None:
+            return None
+        state, noncanon = encoded
+        if any(isinstance(raw, bool) for raw in noncanon.values()):
+            return None
+        return state, noncanon
+
+    def batch_encode_one(self, raw):
+        if isinstance(raw, bool):
+            return None
+        return ColorBatchOps.batch_encode_one(self, raw)
+
+    def batch_payload_max(self, state, include, np, ids=None):
+        """Max bits of the (id, color) pair over included canonical vertices."""
+        values = state[0][include]
+        if values.size == 0:
+            return 0
+        pair = _batch_bit_length(values, np) + _batch_bit_length(ids[include], np) + 2
+        return int(pair.max())
+
+    def transition_batch(self, state, ctx):
+        np, csr = ctx.np, ctx.csr
+        (colors,) = state
+        ids = ctx.vertices
+        palette = self.palette
+        valid = (colors >= 0) & (colors < palette)
+        color_eff = np.where(valid, colors, -1)
+        own = color_eff[csr.rows]
+        nbr_vis = colors[csr.indices]
+        conflict = csr.any_per_vertex(
+            (nbr_vis == own) & (own >= 0) & (ids[csr.indices] > ids[csr.rows])
+        )
+        repick = ~valid | conflict
+        new = color_eff.copy()
+        count = int(repick.sum())
+        if count:
+            compact = np.cumsum(repick) - 1
+            occupied = np.zeros((count, palette), dtype=bool)
+            sel = repick[csr.rows]
+            taken = nbr_vis[sel]
+            owner = compact[csr.rows[sel]]
+            in_palette = (taken >= 0) & (taken < palette)
+            occupied[owner[in_palette], taken[in_palette]] = True
+            picked = np.argmin(occupied, axis=1)
+            # A full row mirrors the scalar fall-through (keep the color);
+            # impossible while degrees respect the Delta bound.
+            full = occupied.all(axis=1)
+            new[repick] = np.where(full, color_eff[repick], picked)
+        return (new,), new != colors
+
+    def batch_is_legal(self, state, csr, np):
+        """Vector twin of :meth:`is_legal` over the packed color column."""
+        (colors,) = state
+        if colors.size and not bool(
+            ((colors >= 0) & (colors < self.palette)).all()
+        ):
+            return False
+        if csr.m and bool((colors[csr.edge_u] == colors[csr.edge_v]).any()):
+            return False
+        return True
+
+
+def _batch_bit_length(values, np):
+    """Vectorized ``abs(x).bit_length()`` for int64 arrays (exact)."""
+    arr = np.abs(values)
+    out = np.zeros(arr.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        high = (arr >> shift) != 0
+        out[high] += shift
+        arr = np.where(high, arr >> shift, arr)
+    return out + (arr != 0)

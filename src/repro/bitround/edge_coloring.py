@@ -34,6 +34,8 @@ from repro.defective.kuhn_edge import kuhn_defective_edge_coloring
 from repro.edge.line_graph import build_line_graph
 from repro.linial.cole_vishkin import cole_vishkin_three_coloring
 from repro.runtime.algorithm import NetworkInfo
+from repro.runtime.csr import numpy_or_none
+from repro.runtime.results import Result
 
 __all__ = ["BitRoundEdgeColoringRun", "run_edge_coloring_bit_protocol"]
 
@@ -55,11 +57,40 @@ class BitRoundEdgeColoringRun:
         """Bit-rounds summed over all phases: O(Delta + log n)."""
         return sum(self.rounds_by_phase.values())
 
+    @property
+    def rounds(self):
+        """Alias of :attr:`total_bit_rounds` (the shared result protocol)."""
+        return self.total_bit_rounds
+
+    @property
+    def colors(self):
+        """Alias of :attr:`edge_colors` (the shared result protocol)."""
+        return self.edge_colors
+
+    @property
+    def num_colors(self):
+        """Distinct edge colors used (at most 2 * Delta - 1)."""
+        return len(set(self.edge_colors.values()))
+
+    def to_dict(self):
+        """JSON-serializable summary; edge keys become "u-v" strings."""
+        return {
+            "edge_colors": {
+                "%d-%d" % edge: color for edge, color in self.edge_colors.items()
+            },
+            "palette_size": self.palette_size,
+            "rounds_by_phase": dict(self.rounds_by_phase),
+            "total_bit_rounds": self.total_bit_rounds,
+        }
+
     def __repr__(self):
         return "BitRoundEdgeColoringRun(colors=%d, bit_rounds=%d)" % (
             len(set(self.edge_colors.values())),
             self.total_bit_rounds,
         )
+
+
+Result.register(BitRoundEdgeColoringRun)
 
 
 class _EndpointViews:
@@ -94,11 +125,106 @@ class _EndpointViews:
             )
 
 
-def run_edge_coloring_bit_protocol(graph, exact=True, neighbor_ids_known=False):
+def run_edge_coloring_bit_protocol(graph, exact=True, neighbor_ids_known=False,
+                                   backend="auto"):
     """Execute the whole pipeline through bit channels.
+
+    ``backend`` picks the execution tier: the reference tier streams every
+    bit through a :class:`~repro.bitround.channel.BitChannelNetwork` and
+    checks both endpoints' replicas after every round, while the batch tier
+    runs the same per-phase update rules as array kernels over the line
+    graph's CSR and computes the ledger from the channel's closed form
+    (``drain()`` returns the widest message any direction carries).  Both
+    tiers return bit-identical colors, palettes, and per-phase bit-round
+    counts.
 
     Returns a :class:`BitRoundEdgeColoringRun`.
     """
+    np = None if backend == "reference" else numpy_or_none()
+    if np is not None and hasattr(graph, "csr"):
+        return _batch(graph, np, exact, neighbor_ids_known)
+    if np is None and backend == "batch":
+        raise RuntimeError(
+            "backend='batch' needs NumPy; install it with `pip install repro[fast]`"
+        )
+    return _reference(graph, exact, neighbor_ids_known)
+
+
+def _batch(graph, np, exact, neighbor_ids_known):
+    """Array-kernel tier over the line graph; ledgers via drain closed forms."""
+    from repro.defective.kuhn_edge import kuhn_defective_edge_arrays
+    from repro.runtime.engine import Visibility
+
+    edges = graph.edges
+    delta = graph.max_degree
+    if not edges:
+        return BitRoundEdgeColoringRun({}, max(1, 2 * delta - 1), {})
+    rounds = {}
+
+    # -- Phase 0: IDs (one id-width broadcast; every direction is loaded) ------
+    if not neighbor_ids_known:
+        rounds["id-exchange"] = _bits(graph.n)
+
+    # -- Phase 1: Kuhn pairs (one index-width message per direction) -----------
+    i_arr, j_arr = kuhn_defective_edge_arrays(graph)
+    rounds["kuhn-2-defective"] = _bits(max(1, delta))
+    pair_of = {
+        edge: pair
+        for edge, pair in zip(edges, zip(i_arr.tolist(), j_arr.tolist()))
+    }
+
+    # -- Phase 2: Cole–Vishkin (per round, the widest label crossing) ----------
+    line_graph, edge_index = build_line_graph(graph, backend="batch")
+    k_of, per_edge_history, max_rounds = _cv_class_histories(
+        graph, pair_of, edge_index
+    )
+    histories = list(per_edge_history.values())
+    rounds["cole-vishkin"] = sum(
+        max(_bits(h[min(r, len(h) - 1)][1]) for h in histories)
+        for r in range(max_rounds)
+    )
+
+    # -- Phase 3: AG, one bit per round ----------------------------------------
+    base = max(1, delta)
+    palette = 3 * base * base
+    k_vec = np.fromiter(
+        (k_of[edge] for edge in edges), dtype=np.int64, count=len(edges)
+    )
+    init = (i_arr * base + j_arr) * 3 + k_vec
+    csr_l = line_graph.csr()
+    q = ag_prime_for(palette, line_graph.max_degree)
+    a = init // q
+    b = init % q
+    ag_rounds = 0
+    while bool((a != 0).any()):
+        conflict = csr_l.any_per_vertex(csr_l.gather(b) == csr_l.owner_values(b))
+        b = np.where(conflict, (b + a) % q, b)
+        a = np.where(conflict, a, 0)
+        ag_rounds += 1
+    rounds["ag"] = ag_rounds
+    colors = b
+    palette = q
+
+    # -- Phase 4: exact hybrid, two bits per round ------------------------------
+    if exact:
+        hybrid = ExactDeltaPlusOneHybrid()
+        hybrid.configure(NetworkInfo(line_graph.n, line_graph.max_degree, palette))
+        state = hybrid.batch_encode_initial(colors)
+        hybrid_rounds = 0
+        while not bool(hybrid.batch_is_final(state).all()):
+            state = hybrid.step_batch(hybrid_rounds // 2, state, csr_l,
+                                      Visibility.LOCAL)
+            hybrid_rounds += 2
+        rounds["exact-hybrid"] = hybrid_rounds
+        palette = hybrid.out_palette_size
+        colors = hybrid.batch_decode_final(state)
+
+    edge_colors = dict(zip(edges, colors.tolist()))
+    return BitRoundEdgeColoringRun(edge_colors, palette, rounds)
+
+
+def _reference(graph, exact, neighbor_ids_known):
+    """Channel-level tier: every bit really crosses a FIFO edge channel."""
     edges = graph.edges
     delta = graph.max_degree
     if not edges:
@@ -269,14 +395,14 @@ def run_edge_coloring_bit_protocol(graph, exact=True, neighbor_ids_known=False):
     return BitRoundEdgeColoringRun(edge_colors, palette, rounds)
 
 
-def _cole_vishkin_over_channels(graph, network, pair_of, edge_index, views):
-    """CV labels computed per class; every label update crosses the channel.
+def _cv_class_histories(graph, pair_of, edge_index):
+    """Per-class CV with full history; the rounds each label update crossed.
 
-    The head endpoint of each edge (incident to the parent edge, so it holds
-    both labels) owns the label computation; per CV round it streams the
-    *actual updated label* to the tail, whose replica must match — asserted
-    after every round.  Label widths follow the shrinking space schedule, so
-    the bit-rounds consumed equal Lemma 5.2's ledger.
+    Returns ``(k_of, per_edge_history, max_rounds)`` where
+    ``per_edge_history[edge]`` is the list of ``(label, space)`` the edge's
+    head computed per CV round.  Shared by both execution tiers: the
+    reference tier ships every history row over the channel, the batch tier
+    folds the same rows into the ledger closed form.
     """
     from collections import defaultdict
 
@@ -288,7 +414,6 @@ def _cole_vishkin_over_channels(graph, network, pair_of, edge_index, views):
         incident_by_class[pair][edge[0]].append(edge)
         incident_by_class[pair][edge[1]].append(edge)
 
-    # Per-class CV with full history, so each round's labels can be shipped.
     k_of = {}
     label_space = max(2, len(graph.edges))
     per_edge_history = {}  # edge -> list of (label, space)
@@ -310,6 +435,21 @@ def _cole_vishkin_over_channels(graph, network, pair_of, edge_index, views):
             k_of[edge] = colors[i]
             per_edge_history[edge] = [(row[i], space) for row, space in history]
         max_rounds = max(max_rounds, len(history))
+    return k_of, per_edge_history, max_rounds
+
+
+def _cole_vishkin_over_channels(graph, network, pair_of, edge_index, views):
+    """CV labels computed per class; every label update crosses the channel.
+
+    The head endpoint of each edge (incident to the parent edge, so it holds
+    both labels) owns the label computation; per CV round it streams the
+    *actual updated label* to the tail, whose replica must match — asserted
+    after every round.  Label widths follow the shrinking space schedule, so
+    the bit-rounds consumed equal Lemma 5.2's ledger.
+    """
+    k_of, per_edge_history, max_rounds = _cv_class_histories(
+        graph, pair_of, edge_index
+    )
 
     # Ship every round's label from head to tail; the tail replica decodes
     # and must agree with the computed history.

@@ -25,8 +25,10 @@ import math
 from repro.bitround.channel import BitChannelNetwork, decode_int, encode_int
 from repro.core.ag import AdditiveGroupColoring
 from repro.core.reductions import StandardColorReduction
-from repro.linial.core import LinialColoring, linial_next_color
+from repro.linial.core import LinialColoring, linial_next_color, linial_round_batch
 from repro.runtime.algorithm import NetworkInfo
+from repro.runtime.csr import numpy_or_none
+from repro.runtime.results import Result
 
 __all__ = ["VertexBitProtocolRun", "run_vertex_coloring_bit_protocol"]
 
@@ -49,9 +51,25 @@ class VertexBitProtocolRun:
         return sum(self.bit_rounds_by_phase.values())
 
     @property
+    def rounds(self):
+        """Communication rounds summed over phases (the result protocol)."""
+        return sum(self.rounds_by_phase.values())
+
+    @property
     def num_colors(self):
         """Distinct colors used (at most Delta + 1)."""
         return len(set(self.colors))
+
+    def to_dict(self):
+        """JSON-serializable summary."""
+        return {
+            "colors": list(self.colors),
+            "num_colors": self.num_colors,
+            "rounds_by_phase": dict(self.rounds_by_phase),
+            "bit_rounds_by_phase": dict(self.bit_rounds_by_phase),
+            "rounds": self.rounds,
+            "total_bit_rounds": self.total_bit_rounds,
+        }
 
     def __repr__(self):
         return "VertexBitProtocolRun(colors=%d, bit_rounds=%d)" % (
@@ -60,8 +78,106 @@ class VertexBitProtocolRun:
         )
 
 
-def run_vertex_coloring_bit_protocol(graph):
-    """Execute Linial -> AG -> standard reduction over bit channels."""
+Result.register(VertexBitProtocolRun)
+
+
+def run_vertex_coloring_bit_protocol(graph, backend="auto"):
+    """Execute Linial -> AG -> standard reduction over bit channels.
+
+    ``backend`` picks the execution tier.  The reference tier pushes every
+    bit through a real :class:`BitChannelNetwork` and asserts per-neighbor
+    replica consistency after every round; the batch tier runs the identical
+    update rules as array kernels and computes each phase's bit-round count
+    from the channel's closed form (``drain()`` returns the longest pending
+    queue, i.e. the widest message any direction carries that round).  Both
+    tiers return bit-identical colors, round counts, and ledgers.
+    """
+    np = None if backend == "reference" else numpy_or_none()
+    if np is not None and hasattr(graph, "csr"):
+        return _batch(graph, np)
+    if np is None and backend == "batch":
+        raise RuntimeError(
+            "backend='batch' needs NumPy; install it with `pip install repro[fast]`"
+        )
+    return _reference(graph)
+
+
+def _batch(graph, np):
+    """Array-kernel tier: same rules, ledgers from the drain closed form."""
+    from repro.runtime.engine import Visibility
+
+    n = graph.n
+    if n == 0:
+        return VertexBitProtocolRun([], {}, {})
+    delta = graph.max_degree
+    csr = graph.csr()
+    has_edges = csr.indices.shape[0] > 0
+    colors = np.arange(n, dtype=np.int64)
+    palette = max(2, n)
+    rounds = {}
+    bit_rounds = {}
+
+    # -- Phase 1: Linial (one palette-width broadcast per iteration) -----------
+    linial = LinialColoring()
+    linial.configure(NetworkInfo(n, delta, palette))
+    linial_bits = 0
+    for index, iteration in enumerate(linial.plan):
+        if has_edges:
+            linial_bits += _bits(palette)
+        colors = linial_round_batch(
+            linial, index, colors, csr, Visibility.LOCAL,
+            iteration.q, iteration.degree,
+        )
+        palette = iteration.out_palette
+    rounds["linial"] = len(linial.plan)
+    bit_rounds["linial"] = linial_bits
+
+    # -- Phase 2: AG (one pair broadcast, then one bit per round) --------------
+    ag = AdditiveGroupColoring()
+    ag.configure(NetworkInfo(n, delta, palette))
+    q = ag.q
+    ag_bits = _bits(palette) if has_edges else 0
+    a = colors // q
+    b = colors % q
+    ag_rounds = 0
+    while bool((a != 0).any()):
+        conflict = csr.any_per_vertex(csr.gather(b) == csr.owner_values(b))
+        rotated = conflict & (a != 0)
+        b = np.where(rotated, (b + a) % q, b)
+        a = np.where(rotated, a, 0)
+        if has_edges:
+            ag_bits += 1
+        ag_rounds += 1
+    colors = b
+    palette = q
+    rounds["additive-group"] = ag_rounds
+    bit_rounds["additive-group"] = ag_bits
+
+    # -- Phase 3: standard reduction (flag bit + value when anyone acts) -------
+    reduction = StandardColorReduction()
+    reduction.configure(NetworkInfo(n, delta, palette))
+    target = reduction.target
+    width = _bits(palette)
+    red_rounds = 0
+    red_bits = 0
+    deg_pos = csr.degrees > 0
+    state = (colors,)
+    for t in range(max(0, palette - target)):
+        acting = palette - 1 - t
+        if bool(((state[0] == acting) & deg_pos).any()):
+            red_bits += 1 + width
+        elif has_edges:
+            red_bits += 1
+        state = reduction.step_batch(t, state, csr, Visibility.LOCAL)
+        red_rounds += 1
+    rounds["standard-reduction"] = red_rounds
+    bit_rounds["standard-reduction"] = red_bits
+
+    return VertexBitProtocolRun(state[0].tolist(), rounds, bit_rounds)
+
+
+def _reference(graph):
+    """Channel-level tier: every bit really crosses a FIFO edge channel."""
     n = graph.n
     if n == 0:
         return VertexBitProtocolRun([], {}, {})

@@ -333,6 +333,7 @@ def _cmd_sweep(args, out):
             algorithm=args.algorithm,
             backend=args.backend,
             family=args.family,
+            params={"k": args.k} if getattr(args, "k", None) else None,
             workers=_worker_count(args),
             timeout=args.timeout,
             retries=args.retries,
@@ -439,6 +440,12 @@ def build_parser():
     sweep.add_argument(
         "--backend", choices=backend_names("engine"), default="auto",
         help="engine backend for every job",
+    )
+    sweep.add_argument(
+        "--k", type=int, default=None, metavar="K",
+        help="Maus tradeoff knob for the sublinear family: O(k*Delta) "
+             "colors against O(Delta/k) + log*(n) rounds (algorithms "
+             "one-plus-eps, sublinear, defective)",
     )
     sweep.add_argument(
         "--workers", type=int, default=None, metavar="N",

@@ -151,3 +151,104 @@ class ExactDeltaPlusOneHybrid(LocallyIterativeColoring):
         if round_index == 0:
             return super().message_bits(round_index)
         return 2
+
+    # -- batch protocol (see repro.runtime.fast_engine) -------------------------
+    #
+    # State: three int64 columns (tag, b, a) with tag 0 = LOW, 1 = HIGH.
+    # Every rule is an existence test over the neighbor multiset, so one
+    # kernel serves LOCAL and SET-LOCAL; component-wise column equality is
+    # exactly tuple equality, so the engine's conflict/properness checks work
+    # unchanged.
+
+    _TAG_LOW = 0
+    _TAG_HIGH = 1
+
+    def batch_encode_initial(self, initial):
+        """Vectorized ``encode_initial`` (same validation as the scalar path)."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        n, p = self.n_colors, self.p
+        if bool((initial < 0).any()):
+            raise ValueError("negative color")
+        low = initial < 2 * n
+        j = initial - 2 * n
+        tag = np.where(low, self._TAG_LOW, self._TAG_HIGH)
+        b = np.where(low, initial // n, j // p + 1)
+        a = np.where(low, initial % n, j % p)
+        return (tag, b, a)
+
+    def step_batch(self, round_index, state, csr, visibility):
+        """Vectorized ``step``: one uniform hybrid round for all vertices."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        tag, b, a = state
+        n, p = self.n_colors, self.p
+        nbr_tag = csr.gather(tag)
+        nbr_b = csr.gather(b)
+        nbr_a = csr.gather(a)
+        own_a = csr.owner_values(a)
+        nbr_low = nbr_tag == self._TAG_LOW
+        same_a = nbr_a == own_a
+        low_conflict = csr.any_per_vertex(nbr_low & same_a)
+        low_working = csr.any_per_vertex(nbr_low & (nbr_b == 1))
+        high_conflict = csr.any_per_vertex(
+            same_a & (~nbr_low | (nbr_b == 0))
+        )
+
+        low = tag == self._TAG_LOW
+        high = ~low
+        new_tag = tag.copy()
+        new_b = b.copy()
+        new_a = a.copy()
+
+        rotate = low & (b != 0) & low_conflict
+        settle = low & (b != 0) & ~low_conflict
+        new_b[rotate] = 1
+        new_a[rotate] = (a[rotate] + 1) % n
+        new_b[settle] = 0
+
+        stay = high & (high_conflict | low_working)
+        new_a[stay] = (a[stay] + b[stay]) % p
+        land = high & ~stay
+        new_tag[land] = self._TAG_LOW
+        land_low = land & (a < n)
+        land_high = land & (a >= n)
+        new_b[land_low] = 0
+        new_b[land_high] = 1
+        new_a[land_high] = a[land_high] - n
+        return (new_tag, new_b, new_a)
+
+    def batch_is_final(self, state):
+        """Vectorized ``is_final``: low and settled."""
+        tag, b, _ = state
+        return (tag == self._TAG_LOW) & (b == 0)
+
+    def batch_decode_final(self, state):
+        """Vectorized ``decode_final`` with the scalar path's exact error."""
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        not_final = ~self.batch_is_final(state)
+        if bool(not_final.any()):
+            v = int(np.argmax(not_final))
+            raise ValueError(
+                "vertex has not finalized: %r" % (self._scalar_color(state, v),)
+            )
+        return state[2]
+
+    def _scalar_color(self, state, v):
+        tag, b, a = state
+        label = self.LOW if int(tag[v]) == self._TAG_LOW else self.HIGH
+        return (label, int(b[v]), int(a[v]))
+
+    def batch_to_scalar(self, state):
+        """The state as the scalar engine's tagged-triple color list."""
+        tag, b, a = state
+        low = self.LOW
+        high = self.HIGH
+        return [
+            (low if t == self._TAG_LOW else high, bv, av)
+            for t, bv, av in zip(tag.tolist(), b.tolist(), a.tolist())
+        ]

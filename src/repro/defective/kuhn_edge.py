@@ -14,16 +14,78 @@ class edges).  Everything is decided in one communication round with
 accounting.
 """
 
-__all__ = ["kuhn_defective_edge_coloring"]
+from repro.runtime.csr import numpy_or_none
+
+__all__ = ["kuhn_defective_edge_coloring", "kuhn_defective_edge_arrays"]
 
 
-def kuhn_defective_edge_coloring(graph):
+def kuhn_defective_edge_coloring(graph, backend="auto"):
     """Return ``{(u, v): (i, j)}`` with ``u < v``, a 2-defective edge coloring.
 
     ``i`` is assigned by the lower-ID endpoint (tail of the orientation
     towards higher IDs), ``j`` by the higher-ID endpoint.  Colors are in
-    ``range(Delta) x range(Delta)`` (``Delta^2`` pairs).
+    ``range(Delta) x range(Delta)`` (``Delta^2`` pairs).  ``backend`` picks
+    the execution tier (``auto``/``batch``/``reference``); the batch path
+    computes the same counters with two sorts over the edge arrays and is
+    bit-identical to the reference sweep.
     """
+    np = None if backend == "reference" else numpy_or_none()
+    if np is None:
+        if backend == "batch":
+            raise RuntimeError(
+                "backend='batch' needs NumPy; install it with `pip install repro[fast]`"
+            )
+        return _reference(graph)
+    if not hasattr(graph, "csr"):
+        return _reference(graph)
+    i, j = kuhn_defective_edge_arrays(graph)
+    return dict(zip(graph.edges, zip(i.tolist(), j.tolist())))
+
+
+def kuhn_defective_edge_arrays(graph):
+    """The ``(i, j)`` pairs as two int64 arrays aligned with ``graph.edges``.
+
+    The array form of :func:`kuhn_defective_edge_coloring`, used by the batch
+    edge-coloring paths to skip the dict materialization.  Requires NumPy.
+    """
+    np = numpy_or_none()
+    csr = graph.csr()
+    m = csr.edge_u.shape[0]
+    if m == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ids = np.asarray(graph.ids, dtype=np.int64)
+    swap = ids[csr.edge_u] > ids[csr.edge_v]
+    tail = np.where(swap, csr.edge_v, csr.edge_u)
+    head = np.where(swap, csr.edge_u, csr.edge_v)
+    # Processing order: (tail id, head id) ascending — IDs are unique, so
+    # equal-tail runs are contiguous and ``i`` is the rank within the run.
+    order = np.lexsort((ids[head], ids[tail]))
+    slots = np.arange(m, dtype=np.int64)
+    i = slots - _run_starts(np, tail[order], slots)
+    # ``j`` counts each head's incoming edges in the same processing order; a
+    # stable sort by head keeps that order inside every head's run.
+    by_head = np.argsort(head[order], kind="stable")
+    rank_in_head = slots - _run_starts(np, head[order][by_head], slots)
+    j = np.empty(m, dtype=np.int64)
+    j[by_head] = rank_in_head
+    # Undo the processing permutation so slot k describes graph.edges[k].
+    i_aligned = np.empty(m, dtype=np.int64)
+    j_aligned = np.empty(m, dtype=np.int64)
+    i_aligned[order] = i
+    j_aligned[order] = j
+    return i_aligned, j_aligned
+
+
+def _run_starts(np, values, slots):
+    """Per-slot start index of the contiguous run of equal ``values``."""
+    new_run = np.empty(values.shape[0], dtype=bool)
+    new_run[0] = True
+    np.not_equal(values[1:], values[:-1], out=new_run[1:])
+    return np.maximum.accumulate(np.where(new_run, slots, 0))
+
+
+def _reference(graph):
     ids = graph.ids
     colors = {}
     out_counter = [0] * graph.n

@@ -30,7 +30,6 @@ from repro.core.hybrid import ExactDeltaPlusOneHybrid
 from repro.defective.kuhn_edge import kuhn_defective_edge_coloring
 from repro.edge.line_graph import build_line_graph
 from repro.linial.cole_vishkin import cole_vishkin_three_coloring
-from repro.runtime.engine import ColoringEngine
 from repro.runtime.results import Result
 
 __all__ = ["EdgeColoringResult", "edge_coloring_congest", "edge_coloring_bit_round"]
@@ -175,12 +174,17 @@ def _cole_vishkin_stage(graph, defective_colors, edge_index):
     return k_of, max(max_rounds, cv_rounds), cv_bits
 
 
-def _run_line_stage(line_graph, stage, initial, palette):
-    engine = ColoringEngine(line_graph, check_proper_each_round=True)
+def _run_line_stage(line_graph, stage, initial, palette, backend="reference"):
+    from repro.runtime.backends import resolve_backend
+
+    engine = resolve_backend("engine", backend)(
+        line_graph, check_proper_each_round=True
+    )
     return engine.run(stage, initial, in_palette_size=palette)
 
 
-def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False):
+def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False,
+                          backend="auto"):
     """(2*Delta-1)- (or O(Delta)-) edge-coloring in O(Delta + log* n) rounds.
 
     Parameters
@@ -191,6 +195,10 @@ def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False):
         colors (Lemma 5.1).
     neighbor_ids_known:
         Skip the initial ID exchange (Lemma 5.2, second statement).
+    backend:
+        Execution tier for the Kuhn stage, the line-graph build, and the
+        line-graph engine runs (``auto``/``batch``/``numba``/``reference``);
+        every tier returns the identical result.
 
     Returns an :class:`EdgeColoringResult`.
     """
@@ -207,11 +215,11 @@ def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False):
         rounds["id-exchange"] = 1
         bits["id-exchange"] = 2 * id_bits
 
-    defective = kuhn_defective_edge_coloring(graph)
+    defective = kuhn_defective_edge_coloring(graph, backend=backend)
     rounds["kuhn-2-defective"] = 1
     bits["kuhn-2-defective"] = 2 * _bits(max(1, delta))
 
-    line_graph, edge_index = build_line_graph(graph)
+    line_graph, edge_index = build_line_graph(graph, backend=backend)
     k_of, cv_rounds, cv_bits = _cole_vishkin_stage(graph, defective, edge_index)
     rounds["cole-vishkin"] = cv_rounds
     bits["cole-vishkin"] = cv_bits
@@ -224,7 +232,7 @@ def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False):
     palette = 3 * base * base
 
     ag = AdditiveGroupColoring()
-    ag_run = _run_line_stage(line_graph, ag, initial, palette)
+    ag_run = _run_line_stage(line_graph, ag, initial, palette, backend=backend)
     rounds["ag"] = ag_run.rounds_used
     bits["ag"] = 2 * _bits(palette) + 2 * max(0, ag_run.rounds_used - 1)
 
@@ -234,7 +242,9 @@ def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False):
 
     if exact:
         hybrid = ExactDeltaPlusOneHybrid()
-        hybrid_run = _run_line_stage(line_graph, hybrid, colors, palette)
+        hybrid_run = _run_line_stage(
+            line_graph, hybrid, colors, palette, backend=backend
+        )
         rounds["exact-hybrid"] = hybrid_run.rounds_used
         bits["exact-hybrid"] = 2 * 2 * hybrid_run.rounds_used
         colors = hybrid_run.int_colors
@@ -244,7 +254,8 @@ def edge_coloring_congest(graph, exact=True, neighbor_ids_known=False):
     return EdgeColoringResult(edge_colors, palette, rounds, bits, max_message)
 
 
-def edge_coloring_bit_round(graph, exact=True, neighbor_ids_known=False):
+def edge_coloring_bit_round(graph, exact=True, neighbor_ids_known=False,
+                            backend="auto"):
     """The same protocol, costed for the Bit-Round model.
 
     In the Bit-Round model a vertex sends *one bit* per edge per round, so a
@@ -256,7 +267,8 @@ def edge_coloring_bit_round(graph, exact=True, neighbor_ids_known=False):
     count (= the per-edge one-direction bit total).
     """
     result = edge_coloring_congest(
-        graph, exact=exact, neighbor_ids_known=neighbor_ids_known
+        graph, exact=exact, neighbor_ids_known=neighbor_ids_known,
+        backend=backend,
     )
     # Per-edge bits are summed over both directions; each direction's bits
     # flow in parallel, so Bit-Round rounds = one-direction bits.

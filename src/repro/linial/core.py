@@ -19,7 +19,74 @@ from repro.mathutil.gf import (
 )
 from repro.runtime.algorithm import LocallyIterativeColoring
 
-__all__ = ["linial_next_color", "LinialColoring"]
+__all__ = ["linial_next_color", "linial_round_batch", "LinialColoring"]
+
+# Evaluation points are processed in small blocks: almost every vertex
+# succeeds within the first few points, so the (2m x block) comparison
+# never materializes the full (2m x q) conflict matrix.
+_POINT_BLOCK = 16
+
+
+def linial_round_batch(stage, round_index, colors, csr, visibility, q, degree):
+    """One vectorized Linial iteration over all vertices (batch kernel body).
+
+    Shared by :class:`LinialColoring` and the proper rounds of
+    ``DefectiveLinialColoring``: ``stage`` is only used to replay the round
+    through its scalar ``step`` when the batch kernel must surface the exact
+    scalar error (out-of-field input, no conflict-free point).  Returns the
+    new int64 color array.
+    """
+    from repro.runtime.csr import numpy_or_none
+
+    np = numpy_or_none()
+    limit = q ** (degree + 1)
+    out_of_field = colors < 0
+    if limit < (1 << 62):
+        out_of_field |= colors >= limit
+    if bool(out_of_field.any()):
+        _raise_like_scalar(stage, round_index, colors, csr, visibility)
+    coeffs = batch_poly_coeffs(colors, degree, q)
+    n = csr.n
+    new_colors = np.empty(n, dtype=np.int64)
+    pending = np.ones(n, dtype=bool)
+    distinct = csr.gather(colors) != csr.owner_values(colors)
+    # Only distinct-colored neighbors can ever conflict; slice them once.
+    distinct_rows = csr.rows[distinct]
+    distinct_nbrs = csr.indices[distinct]
+    for first in range(0, q, _POINT_BLOCK):
+        xs = np.arange(first, min(first + _POINT_BLOCK, q), dtype=np.int64)
+        values = batch_eval_points(coeffs, xs, q)
+        for j in range(xs.size):
+            # Re-select per point: pending collapses after the first few
+            # points, so later columns gather almost nothing.
+            slot_sel = pending[distinct_rows]
+            rows = distinct_rows[slot_sel]
+            column = values[:, j]
+            conflict = np.zeros(n, dtype=bool)
+            if rows.size:
+                agree = column[distinct_nbrs[slot_sel]] == column[rows]
+                conflict[rows[agree]] = True
+            free = pending & ~conflict
+            new_colors[free] = int(xs[j]) * q + column[free]
+            pending &= conflict
+            if not bool(pending.any()):
+                break
+        if not bool(pending.any()):
+            break
+    if bool(pending.any()):
+        # Some vertex has no conflict-free point (under-sized field).
+        _raise_like_scalar(stage, round_index, colors, csr, visibility)
+    return new_colors
+
+
+def _raise_like_scalar(stage, round_index, colors, csr, visibility):
+    """Replay the round through the scalar step to raise its exact error."""
+    from repro.runtime.fast_engine import scalar_replay_round
+
+    scalar_replay_round(stage, round_index, colors.tolist(), csr, visibility)
+    raise AssertionError(
+        "batch Linial kernel rejected a round the scalar step accepts"
+    )
 
 
 def linial_next_color(color, neighbor_colors, q, degree, forbidden=frozenset()):
@@ -103,72 +170,20 @@ class LinialColoring(LocallyIterativeColoring):
     # CSR neighborhood.  The conflict test is pure existence over *distinct*
     # neighbor colors, so the kernel is identical in LOCAL and SET-LOCAL.
 
-    # Evaluation points are processed in small blocks: almost every vertex
-    # succeeds within the first few points, so the (2m x block) comparison
-    # never materializes the full (2m x q) conflict matrix.
-    _POINT_BLOCK = 16
-
     def batch_encode_initial(self, initial):
         """Vectorized ``encode_initial`` (identity, like the scalar path)."""
         return (initial,)
 
     def step_batch(self, round_index, state, csr, visibility):
         """Vectorized ``step``: one planned Linial iteration for all vertices."""
-        from repro.runtime.csr import numpy_or_none
-
-        np = numpy_or_none()
         (colors,) = state
         if round_index >= len(self.plan):
             return state
         iteration = self.plan[round_index]
-        q, degree = iteration.q, iteration.degree
-        limit = q ** (degree + 1)
-        out_of_field = colors < 0
-        if limit < (1 << 62):
-            out_of_field |= colors >= limit
-        if bool(out_of_field.any()):
-            self._raise_like_scalar(round_index, colors, csr, visibility)
-        coeffs = batch_poly_coeffs(colors, degree, q)
-        n = csr.n
-        new_colors = np.empty(n, dtype=np.int64)
-        pending = np.ones(n, dtype=bool)
-        distinct = csr.gather(colors) != csr.owner_values(colors)
-        # Only distinct-colored neighbors can ever conflict; slice them once.
-        distinct_rows = csr.rows[distinct]
-        distinct_nbrs = csr.indices[distinct]
-        for first in range(0, q, self._POINT_BLOCK):
-            xs = np.arange(first, min(first + self._POINT_BLOCK, q), dtype=np.int64)
-            values = batch_eval_points(coeffs, xs, q)
-            for j in range(xs.size):
-                # Re-select per point: pending collapses after the first few
-                # points, so later columns gather almost nothing.
-                slot_sel = pending[distinct_rows]
-                rows = distinct_rows[slot_sel]
-                column = values[:, j]
-                conflict = np.zeros(n, dtype=bool)
-                if rows.size:
-                    agree = column[distinct_nbrs[slot_sel]] == column[rows]
-                    conflict[rows[agree]] = True
-                free = pending & ~conflict
-                new_colors[free] = int(xs[j]) * q + column[free]
-                pending &= conflict
-                if not bool(pending.any()):
-                    break
-            if not bool(pending.any()):
-                break
-        if bool(pending.any()):
-            # Some vertex has no conflict-free point (under-sized field).
-            self._raise_like_scalar(round_index, colors, csr, visibility)
-        return (new_colors,)
-
-    def _raise_like_scalar(self, round_index, colors, csr, visibility):
-        """Replay the round through the scalar step to raise its exact error."""
-        from repro.runtime.fast_engine import scalar_replay_round
-
-        scalar_replay_round(self, round_index, colors.tolist(), csr, visibility)
-        raise AssertionError(
-            "batch Linial kernel rejected a round the scalar step accepts"
+        new_colors = linial_round_batch(
+            self, round_index, colors, csr, visibility, iteration.q, iteration.degree
         )
+        return (new_colors,)
 
     def batch_is_final(self, state):
         """Vectorized ``is_final`` (never final, like the scalar path)."""

@@ -267,6 +267,139 @@ def _alg_sublinear(graph, backend="auto", seed=1, **params):
     return sublinear_delta_plus_one_coloring(graph, backend=backend, **params)
 
 
+def _alg_bek(graph, backend="auto", seed=1, **params):
+    """Barenboim–Elkin–Kuhn recursive (Delta+1)-coloring."""
+    from repro.baselines.bek import bek_delta_plus_one
+
+    return bek_delta_plus_one(graph, backend=backend, **params)
+
+
+def _alg_kuhn_wattenhofer(graph, backend="auto", seed=1, **params):
+    """Kuhn–Wattenhofer halving reduction from the trivial ID coloring."""
+    from repro.baselines.kuhn_wattenhofer import KuhnWattenhoferReduction
+    from repro.runtime.backends import resolve_backend
+
+    engine = resolve_backend("engine", backend)(graph)
+    return engine.run(
+        KuhnWattenhoferReduction(),
+        list(range(graph.n)),
+        in_palette_size=max(2, graph.n),
+        **params,
+    )
+
+
+def _alg_defective(graph, backend="auto", seed=1, tolerance=None, k=None,
+                   **params):
+    """Lemma 3.4's tolerant Linial stage alone: an m-defective coloring.
+
+    ``k`` (alias ``tolerance``) is the defect budget — the same Maus-style
+    dial the sublinear recipes expose.
+    """
+    from repro.defective.vertex import DefectiveLinialColoring
+    from repro.recipes import _resolve_k_knob
+    from repro.runtime.backends import resolve_backend
+
+    tolerance = _resolve_k_knob(tolerance, k, graph.max_degree)
+    if tolerance is None:
+        tolerance = max(1, int(round(graph.max_degree ** 0.5)))
+    engine = resolve_backend("engine", backend)(graph)
+    return engine.run(
+        DefectiveLinialColoring(tolerance),
+        list(range(graph.n)),
+        in_palette_size=max(2, graph.n),
+        **params,
+    )
+
+
+def _alg_edge(graph, backend="auto", seed=1, **params):
+    """Section 5's (2*Delta-1)-edge-coloring pipeline (CONGEST ledger)."""
+    from repro.edge.congest import edge_coloring_congest
+
+    return edge_coloring_congest(graph, backend=backend, **params)
+
+
+def _alg_bitround(graph, backend="auto", seed=1, **params):
+    """Corollary 3.6 over bit channels (vertex coloring, bit-round ledger)."""
+    from repro.bitround.vertex_coloring import run_vertex_coloring_bit_protocol
+
+    return run_vertex_coloring_bit_protocol(graph, backend=backend, **params)
+
+
+def _alg_bitround_edge(graph, backend="auto", seed=1, **params):
+    """Theorem 5.3 over bit channels (edge coloring, bit-round ledger)."""
+    from repro.bitround.edge_coloring import run_edge_coloring_bit_protocol
+
+    return run_edge_coloring_bit_protocol(graph, backend=backend, **params)
+
+
+class BaselineReport:
+    """Result-protocol wrapper for baselines that return bare colors.
+
+    ``rounds`` carries whatever step notion the baseline has — sequential
+    vertex visits for the greedy oracle, communication rounds for the
+    randomized trial coloring.
+    """
+
+    def __init__(self, colors, rounds):
+        self.colors = list(colors)
+        self.rounds = rounds
+
+    @property
+    def num_colors(self):
+        """Distinct colors used."""
+        return len(set(self.colors))
+
+    def to_dict(self):
+        """JSON-serializable summary."""
+        return {
+            "colors": list(self.colors),
+            "num_colors": self.num_colors,
+            "rounds": self.rounds,
+        }
+
+    def __repr__(self):
+        return "BaselineReport(rounds=%d, colors=%d)" % (
+            self.rounds,
+            self.num_colors,
+        )
+
+
+Result.register(BaselineReport)
+
+
+def _alg_greedy(graph, backend="auto", seed=1, order=None, **params):
+    """Sequential first-fit oracle (wave-parallel / native on the fast path).
+
+    Not distributed: ``rounds`` is the number of sequential vertex visits.
+    """
+    from repro.baselines.greedy import greedy_coloring
+
+    return BaselineReport(greedy_coloring(graph, order=order, backend=backend),
+                          graph.n)
+
+
+def _alg_random_trial(graph, backend="auto", seed=1, palette=None, **params):
+    """Randomized trial (Delta+1)-coloring (seeded, backend-invariant)."""
+    from repro.baselines.randomized import random_trial_coloring
+
+    colors, rounds = random_trial_coloring(
+        graph, seed, palette=palette, backend=backend, **params
+    )
+    return BaselineReport(colors, rounds)
+
+
+def _alg_selfstab_rank(
+    graph, backend="auto", seed=1, bursts=2, corruptions=8, churn=0, **params
+):
+    """Rank-greedy self-stabilizing (Delta+1)-coloring under faults."""
+    from repro.baselines.selfstab_rank import RankGreedySelfStabColoring
+
+    return _run_selfstab(
+        RankGreedySelfStabColoring, graph, backend, seed, bursts, corruptions,
+        churn
+    )
+
+
 class SelfStabReport:
     """Result-protocol wrapper for a self-stabilization job.
 
@@ -361,6 +494,15 @@ register_algorithm("one-plus-eps", _alg_one_plus_eps)
 register_algorithm("sublinear", _alg_sublinear)
 register_algorithm("selfstab", _alg_selfstab_exact)
 register_algorithm("selfstab-coloring", _alg_selfstab_coloring)
+register_algorithm("bek", _alg_bek)
+register_algorithm("kuhn-wattenhofer", _alg_kuhn_wattenhofer)
+register_algorithm("defective", _alg_defective)
+register_algorithm("edge", _alg_edge)
+register_algorithm("bitround", _alg_bitround)
+register_algorithm("bitround-edge", _alg_bitround_edge)
+register_algorithm("greedy", _alg_greedy)
+register_algorithm("random-trial", _alg_random_trial)
+register_algorithm("selfstab-rank", _alg_selfstab_rank)
 
 
 # -- specs and outcomes --------------------------------------------------------------

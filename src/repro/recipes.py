@@ -234,18 +234,43 @@ def _hpartition_completion(graph, class_of, num_classes):
     return final, worst_rounds, class_palette
 
 
+def _resolve_k_knob(tolerance, k, delta):
+    """Fold the Maus-style ``k`` knob into ArbAG's ``tolerance`` budget.
+
+    The family has one tradeoff dial — Maus (2021) phrases it as an
+    ``O(k * Delta)``-coloring in ``O(Delta / k) + log*(n)`` rounds — and in
+    this pipeline the dial is ArbAG's conflict budget ``p``, which plays the
+    role of ``Delta / k``: a *small* ``k`` (near the ``Delta + 1`` regime)
+    maps to a large budget, few colors and many rounds, a large ``k`` to a
+    small budget, more colors and fewer conflict rounds.  ``k`` and
+    ``tolerance`` are two spellings of the same dial; passing both is an
+    error.
+    """
+    if k is None:
+        return tolerance
+    if tolerance is not None:
+        raise ValueError("pass either k or tolerance, not both")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return max(1, -(-int(delta) // int(k)))
+
+
 def one_plus_eps_delta_coloring(
     graph,
     tolerance=None,
     initial_coloring=None,
     completion="orientation",
     backend="auto",
+    k=None,
 ):
     """Theorem 6.4 shape: proper O(Delta)-coloring in O(sqrt(Delta) + log* n).
 
     ``tolerance`` is ArbAG's conflict budget ``p`` (default
-    ``ceil(sqrt(Delta))``, the headline setting).  ``completion`` selects the
-    per-class proper-coloring backend:
+    ``ceil(sqrt(Delta))``, the headline setting); ``k`` is the same dial
+    under its Maus (2021) name — ``O(k * Delta)`` colors against
+    ``O(Delta / k) + log*(n)`` rounds — and the two spellings are mutually
+    exclusive.  ``completion`` selects the per-class proper-coloring
+    backend:
 
     * ``"orientation"`` (default) — greedy along ArbAG's finalization
       orientation (``out-degree + 1`` colors per class, depth-bound rounds);
@@ -256,6 +281,7 @@ def one_plus_eps_delta_coloring(
     Returns a :class:`SublinearColoringResult`.
     """
     delta = graph.max_degree
+    tolerance = _resolve_k_knob(tolerance, k, delta)
     if tolerance is None:
         tolerance = max(1, int(round(delta ** 0.5)))
     if initial_coloring is None:
@@ -299,16 +325,18 @@ def one_plus_eps_delta_coloring(
 
 
 def sublinear_delta_plus_one_coloring(
-    graph, tolerance=None, initial_coloring=None, backend="auto"
+    graph, tolerance=None, initial_coloring=None, backend="auto", k=None
 ):
     """Theorem 6.4 shape, exact variant: finish with a standard reduction.
 
     The reduction from ``C * Delta`` to ``Delta + 1`` colors costs
     ``O(Delta)`` rounds, so only the arbdefective front-end is sublinear —
-    see EXPERIMENTS.md for the honest accounting versus [22].
+    see EXPERIMENTS.md for the honest accounting versus [22].  ``k`` is the
+    Maus-style tradeoff knob (alias of ``tolerance``, mutually exclusive).
     """
     partial = one_plus_eps_delta_coloring(
-        graph, tolerance=tolerance, initial_coloring=initial_coloring, backend=backend
+        graph, tolerance=tolerance, initial_coloring=initial_coloring,
+        backend=backend, k=k,
     )
     engine = resolve_backend("engine", backend)(graph)
     reduction = StandardColorReduction()

@@ -75,6 +75,13 @@ class LocallyIterativeColoring(ABC):
     maintains_proper = True
     uniform_step = False
 
+    #: Round index from which ``step`` ignores ``round_index`` (a uniform
+    #: tail).  ``None`` means no such tail is declared.  Schedule-driven
+    #: stages whose rule degenerates to the identity past their schedule
+    #: (defective Linial, Kuhn–Wattenhofer) set this so the engines can apply
+    #: the same fixed-point early exit that ``uniform_step`` stages get.
+    uniform_after = None
+
     def __init__(self):
         self.info = None
 

@@ -230,10 +230,17 @@ class ColoringEngine:
                 history.append(list(colors))
             if self.check_proper_each_round and stage.maintains_proper:
                 self._assert_proper(colors, round_index)
-            if changed == 0 and stage.uniform_step:
-                # Fixed point of a round-independent rule: every later round
-                # would repeat this no-op verbatim, so stop.  The batch
-                # engine applies the identical early exit.
+            if changed == 0 and (
+                stage.uniform_step
+                or (
+                    stage.uniform_after is not None
+                    and round_index >= stage.uniform_after
+                )
+            ):
+                # Fixed point of a round-independent rule (or of a stage's
+                # declared uniform tail): every later round would repeat this
+                # no-op verbatim, so stop.  The batch engine applies the
+                # identical early exit.
                 break
 
         int_colors = [stage.decode_final(c) for c in colors]

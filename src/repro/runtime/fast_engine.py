@@ -61,8 +61,12 @@ BACKENDS = ("auto", "batch", "reference")
 
 
 def batch_supported(stage):
-    """True iff ``stage`` implements the batch protocol."""
-    return hasattr(stage, "step_batch")
+    """True iff ``stage`` implements the batch protocol.
+
+    A subclass can opt back out of an inherited kernel by setting
+    ``step_batch = None``.
+    """
+    return getattr(stage, "step_batch", None) is not None
 
 
 def scalar_replay_round(stage, round_index, colors, csr, visibility):
@@ -273,10 +277,17 @@ class BatchColoringEngine(ColoringEngine):
                 history.append(self._to_scalar(stage, state))
             if self.check_proper_each_round and stage.maintains_proper:
                 self._assert_proper_batch(stage, state, csr, round_index)
-            if changed == 0 and stage.uniform_step:
-                # Fixed point of a round-independent rule: every later round
-                # would repeat this no-op verbatim, so stop.  The reference
-                # engine applies the identical early exit.
+            if changed == 0 and (
+                stage.uniform_step
+                or (
+                    stage.uniform_after is not None
+                    and round_index >= stage.uniform_after
+                )
+            ):
+                # Fixed point of a round-independent rule (or of a stage's
+                # declared uniform tail): every later round would repeat this
+                # no-op verbatim, so stop.  The reference engine applies the
+                # identical early exit.
                 break
 
         decoded = stage.batch_decode_final(state)

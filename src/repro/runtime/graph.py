@@ -33,29 +33,44 @@ class StaticGraph:
 
     __slots__ = ("n", "_adjacency", "_edges", "ids", "_id_set", "_max_degree", "_csr")
 
+    # Below this many input edges the plain-Python constructor wins; above
+    # it the array path (same validation, dedup, and sorted structures)
+    # avoids the per-edge set churn.
+    _BULK_EDGES = 2048
+
     def __init__(self, n, edges, ids=None):
         if n < 0:
             raise ValueError("n must be non-negative")
-        adjacency = [set() for _ in range(n)]
-        edge_set = set()
-        for u, v in edges:
-            if u == v:
-                raise ValueError("self-loop (%d, %d) not allowed" % (u, v))
-            if not (0 <= u < n and 0 <= v < n):
-                raise ValueError("edge (%d, %d) out of range for n=%d" % (u, v, n))
-            key = (u, v) if u < v else (v, u)
-            if key in edge_set:
-                continue
-            edge_set.add(key)
-            adjacency[u].add(v)
-            adjacency[v].add(u)
-        self.n = n
-        self._adjacency = tuple(tuple(sorted(neighbors)) for neighbors in adjacency)
-        self._edges = tuple(sorted(edge_set))
-        self._max_degree = max(
-            (len(neighbors) for neighbors in self._adjacency), default=0
-        )
-        self._csr = None
+        is_array = hasattr(edges, "ndim")  # ndarray input skips listification
+        if not (is_array or isinstance(edges, (list, tuple))):
+            edges = list(edges)
+        if (is_array or len(edges) >= self._BULK_EDGES) and self._bulk_init(n, edges):
+            pass
+        else:
+            adjacency = [set() for _ in range(n)]
+            edge_set = set()
+            for u, v in edges:
+                if u == v:
+                    raise ValueError("self-loop (%d, %d) not allowed" % (u, v))
+                if not (0 <= u < n and 0 <= v < n):
+                    raise ValueError(
+                        "edge (%d, %d) out of range for n=%d" % (u, v, n)
+                    )
+                key = (u, v) if u < v else (v, u)
+                if key in edge_set:
+                    continue
+                edge_set.add(key)
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+            self.n = n
+            self._adjacency = tuple(
+                tuple(sorted(neighbors)) for neighbors in adjacency
+            )
+            self._edges = tuple(sorted(edge_set))
+            self._max_degree = max(
+                (len(neighbors) for neighbors in self._adjacency), default=0
+            )
+            self._csr = None
         if ids is None:
             self.ids = tuple(range(n))
         else:
@@ -65,6 +80,80 @@ class StaticGraph:
             if len(set(self.ids)) != n:
                 raise ValueError("ids must be unique")
         self._id_set = frozenset(self.ids)
+
+    def _bulk_init(self, n, edges):
+        """Array-path constructor body; returns False when NumPy is off.
+
+        Bit-identical to the per-edge loop: same first-error messages (the
+        first offending edge in input order, self-loop checked before range),
+        same dedup, the same sorted adjacency tuples and edge tuple.  Also
+        pre-builds the CSR view from the arrays already in hand, so the first
+        ``csr()`` call is free.
+
+        The Python-side structures (``_adjacency``/``_edges``) are built
+        lazily from the CSR on first access — batch pipelines that only ever
+        touch ``csr()`` (e.g. engine runs on a line graph) never pay for the
+        per-vertex tuple materialization.
+        """
+        from repro.runtime.csr import numpy_or_none
+
+        np = numpy_or_none()
+        if np is None:
+            return False
+        try:
+            arr = np.asarray(edges)
+        except (ValueError, TypeError):
+            return False
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.dtype.kind not in "iu":
+            return False  # ragged / non-integer input: scalar path semantics
+        arr = arr.astype(np.int64, copy=False)
+        u, v = arr[:, 0], arr[:, 1]
+        bad = (u == v) | (u < 0) | (u >= n) | (v < 0) | (v >= n)
+        if bool(bad.any()):
+            k = int(np.argmax(bad))
+            uk, vk = int(u[k]), int(v[k])
+            if uk == vk:
+                raise ValueError("self-loop (%d, %d) not allowed" % (uk, vk))
+            raise ValueError("edge (%d, %d) out of range for n=%d" % (uk, vk, n))
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        key = np.unique(lo * n + hi)  # sorted == lexicographic (lo, hi)
+        edge_u = key // n
+        edge_v = key % n
+        src = np.concatenate([edge_u, edge_v])
+        dst = np.concatenate([edge_v, edge_u])
+        order = np.lexsort((dst, src))
+        dst = dst[order]
+        degrees = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        self.n = n
+        self._adjacency = None
+        self._edges = None
+        self._max_degree = int(degrees.max()) if n else 0
+        from repro.runtime.csr import CSRAdjacency
+
+        self._csr = CSRAdjacency(
+            n,
+            int(key.shape[0]),
+            indptr,
+            dst,
+            np.repeat(np.arange(n, dtype=np.int64), degrees),
+            degrees,
+            edge_u,
+            edge_v,
+        )
+        return True
+
+    def _materialize(self):
+        """Build the Python adjacency/edge tuples from the CSR (lazy path)."""
+        csr = self._csr
+        bounds = csr.indptr.tolist()
+        flat = csr.indices.tolist()
+        self._adjacency = tuple(
+            tuple(flat[bounds[i]:bounds[i + 1]]) for i in range(self.n)
+        )
+        self._edges = tuple(zip(csr.edge_u.tolist(), csr.edge_v.tolist()))
 
     # -- construction helpers -------------------------------------------------
 
@@ -94,7 +183,7 @@ class StaticGraph:
         nx_graph = nx.Graph()
         for v in self.vertices():
             nx_graph.add_node(v, id=self.ids[v])
-        nx_graph.add_edges_from(self._edges)
+        nx_graph.add_edges_from(self.edges)
         return nx_graph
 
     # -- queries --------------------------------------------------------------
@@ -105,20 +194,28 @@ class StaticGraph:
 
     def neighbors(self, v):
         """Return the sorted tuple of neighbors of ``v``."""
+        if self._adjacency is None:
+            self._materialize()
         return self._adjacency[v]
 
     def degree(self, v):
         """Return the degree of ``v``."""
+        if self._adjacency is None:
+            return int(self._csr.degrees[v])
         return len(self._adjacency[v])
 
     @property
     def edges(self):
         """Return the sorted tuple of edges as ``(u, v)`` with ``u < v``."""
+        if self._edges is None:
+            self._materialize()
         return self._edges
 
     @property
     def m(self):
         """Return the number of edges."""
+        if self._edges is None:
+            return self._csr.m
         return len(self._edges)
 
     @property
@@ -146,6 +243,8 @@ class StaticGraph:
 
     def has_edge(self, u, v):
         """Return True iff ``(u, v)`` is an edge."""
+        if self._adjacency is None:
+            self._materialize()
         return v in self._adjacency[u]
 
     def bfs_distances(self, sources):
@@ -154,6 +253,8 @@ class StaticGraph:
         Vertices unreachable from every source are absent from the result.
         Used to measure adjustment radii (distance from the closest fault).
         """
+        if self._adjacency is None:
+            self._materialize()
         distances = {}
         queue = deque()
         for source in sources:
@@ -184,7 +285,7 @@ class StaticGraph:
         index = {v: i for i, v in enumerate(ordered)}
         edges = [
             (index[u], index[v])
-            for u, v in self._edges
+            for u, v in self.edges
             if u in index and v in index
         ]
         ids = [self.ids[v] for v in ordered]

@@ -37,6 +37,7 @@ __all__ = [
     "native_default",
     "engine_kernel_for",
     "selfstab_kernel_for",
+    "greedy_kernel",
 ]
 
 _DISABLE_ENV = "REPRO_DISABLE_NUMBA"
@@ -176,6 +177,28 @@ def selfstab_core_round(indptr, indices, colors, q, reset_base, vertex_ids, new)
             new[v] = bv
 
 
+def greedy_assign(indptr, indices, order, stamp, colors):
+    """Sequential first-fit greedy over ``order`` (the oracle's exact rule).
+
+    ``stamp`` is an ``int64`` scratch array of at least ``max_degree + 2``
+    entries, initialized to ``-1``; ``colors`` starts at ``-1`` everywhere.
+    Marks each visited vertex's taken colors with its order position, then
+    takes the smallest unstamped color — identical to the set-based loop of
+    :func:`repro.baselines.greedy_coloring` for every (even partial or
+    repeating) order.
+    """
+    for i in range(order.shape[0]):
+        v = order[i]
+        for s in range(indptr[v], indptr[v + 1]):
+            c = colors[indices[s]]
+            if c >= 0:
+                stamp[c] = i
+        c = 0
+        while stamp[c] == i:
+            c += 1
+        colors[v] = c
+
+
 # -- lazy compilation -----------------------------------------------------------------
 
 _COMPILED = {}
@@ -276,6 +299,18 @@ def _selfstab_coloring_adapter(algorithm, state, ctx):
 _SELFSTAB_ADAPTERS = {
     "selfstab-coloring": _selfstab_coloring_adapter,
 }
+
+
+def greedy_kernel():
+    """The compiled sequential greedy kernel, or None without Numba.
+
+    Unlike the engine adapters this is not round-granular — the whole
+    first-fit sweep is one fused loop, called directly by
+    :func:`repro.baselines.greedy_coloring`.
+    """
+    if not native_available():
+        return None
+    return jit(greedy_assign)
 
 
 def selfstab_kernel_for(algorithm):

@@ -243,8 +243,10 @@ class BatchSelfStabEngine(SelfStabEngine):
         state = self._state
         noncanon = self._noncanon
         algorithm = self.algorithm
-        # CONGEST meter, mirroring the scalar pre-transition payload scan
-        # (visible() is the identity for every batch-capable algorithm).
+        # CONGEST meter, mirroring the scalar pre-transition payload scan.
+        # Algorithms whose visible() is not the identity (rank-greedy
+        # broadcasts an (id, color) pair) opt into receiving the original
+        # vertex ids via ``batch_payload_wants_ids``.
         if csr.indices.size:
             include = csr.degrees > 0
             if noncanon:
@@ -259,7 +261,12 @@ class BatchSelfStabEngine(SelfStabEngine):
                             self._payload_bits(algorithm.visible(verts_list[i], raw)),
                         )
                 self.max_message_bits = bits
-            column_bits = algorithm.batch_payload_max(state, include, np)
+            if getattr(algorithm, "batch_payload_wants_ids", False):
+                column_bits = algorithm.batch_payload_max(
+                    state, include, np, ids=verts_arr
+                )
+            else:
+                column_bits = algorithm.batch_payload_max(state, include, np)
             if column_bits > self.max_message_bits:
                 self.max_message_bits = column_bits
 

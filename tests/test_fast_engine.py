@@ -229,7 +229,19 @@ def test_batch_supported_detection():
     assert batch_supported(StandardColorReduction())
     from repro.defective.vertex import DefectiveLinialColoring
 
-    assert not batch_supported(DefectiveLinialColoring(1))
+    assert batch_supported(DefectiveLinialColoring(1))
+
+    from repro.runtime.algorithm import LocallyIterativeColoring
+
+    class _ScalarOnly(LocallyIterativeColoring):
+        name = "scalar-only"
+        out_palette_size = 1
+        rounds_bound = 0
+
+        def step(self, round_index, color, neighbor_colors):
+            return color
+
+    assert not batch_supported(_ScalarOnly())
 
 
 def test_make_engine_reference_backend():
@@ -253,10 +265,11 @@ def test_make_engine_auto_prefers_batch():
 
 
 def test_make_engine_auto_falls_back_for_unsupported_stage():
-    from repro.defective.vertex import DefectiveLinialColoring
+    from repro.selfstab.coloring import SelfStabColoring
 
     graph = graphgen.path_graph(4)
-    engine = make_engine(graph, stages=[DefectiveLinialColoring(1)])
+    # A stage without the batch protocol sends auto to the scalar engine.
+    engine = make_engine(graph, stages=[SelfStabColoring])
     assert type(engine) is ColoringEngine
 
 

@@ -224,9 +224,12 @@ class TestEngineTelemetry:
             pytest.skip("NumPy unavailable")
         from repro.baselines import KuhnWattenhoferReduction
 
+        class ScalarOnlyKW(KuhnWattenhoferReduction):
+            step_batch = None  # opt out of the inherited batch kernel
+
         graph = random_regular(24, 4, seed=11)
         engine = make_engine(graph, backend="batch")
-        stage = KuhnWattenhoferReduction()
+        stage = ScalarOnlyKW()
         with obs.capture() as tel:
             engine.run(stage, [v % 7 for v in range(graph.n)], in_palette_size=7)
         (fallback,) = tel.events_of("engine.fallback")
