@@ -83,7 +83,9 @@ HEADLINE = (20000, 64)
 # (label, n, Delta) — the flat grid; check_regression's smoke mode keeps the
 # smallest (n, Delta) per label so every kernel still gets exercised.
 GRID = (
-    ("greedy",) + SMALL,
+    # greedy has no SMALL point: at n=2000 the wave-parallel kernel and the
+    # warm pure-Python loop are within noise of each other (~2 ms either
+    # way), so the speedup ratio the smoke gate compares is a coin flip.
     ("greedy",) + HEADLINE,
     ("random-trial",) + SMALL,
     ("random-trial",) + HEADLINE,
@@ -152,6 +154,14 @@ def _graph(n, delta):
     return _GRAPHS[key]
 
 
+#: Rows at or below this n get one untimed run of each tier first: their
+#: timed sections are a few tens of milliseconds, where CPython's adaptive
+#: interpreter makes the first call up to 3x slower than every later one —
+#: enough to flip the recorded speedup depending on what ran earlier in the
+#: process (full grid vs check_regression's smoke selection).
+WARM_LIMIT = 2000
+
+
 def run_grid(grid=GRID):
     """Measure the (label, n, Delta) triples; assert cross-tier parity."""
     entries = []
@@ -159,6 +169,9 @@ def run_grid(grid=GRID):
         algorithm, params = ROWS[label]
         fn = resolve_algorithm(algorithm)
         graph = _graph(n, delta)
+        if n <= WARM_LIMIT:
+            fn(graph, backend="batch", seed=7, **params)
+            fn(graph, backend="reference", seed=7, **params)
         start = time.perf_counter()
         batch = fn(graph, backend="batch", seed=7, **params)
         batch_elapsed = time.perf_counter() - start

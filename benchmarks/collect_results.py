@@ -60,6 +60,7 @@ ORDER = [
     "E-SELFSTAB-SPEED",
     "E-PARALLEL",
     "E-FRONTIER",
+    "E-OOCORE",
 ]
 
 

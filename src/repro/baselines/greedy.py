@@ -30,6 +30,18 @@ def greedy_coloring(graph, order=None, backend="auto"):
     the wave-parallel NumPy path, ``numba`` the fused native loop, ``auto``
     the best available.
     """
+    if backend == "oocore" or type(graph).__name__ == "ShardedCSRGraph":
+        # Out-of-core graphs never materialize a full CSR; the sharded
+        # first-fit sweep is bit-identical to this function's natural order.
+        from repro.oocore.engine import oocore_greedy
+        from repro.oocore.store import ShardedCSRGraph
+
+        if not isinstance(graph, ShardedCSRGraph):
+            raise TypeError(
+                "backend='oocore' greedy needs a ShardedCSRGraph; "
+                "shard the graph with repro.oocore.writers first"
+            )
+        return oocore_greedy(graph, order=order)
     n = graph.n
     np = None if backend == "reference" else numpy_or_none()
     if np is None:

@@ -15,6 +15,7 @@ Examples::
 
 import argparse
 import contextlib
+import os
 import sys
 
 from repro import graphgen, obs
@@ -107,6 +108,47 @@ def _graph_spec(args):
     return spec
 
 
+def _add_oocore_arguments(parser):
+    parser.add_argument(
+        "--oocore",
+        action="store_true",
+        help="run out of core: stream the graph into memory-mapped CSR "
+        "shards and use the partition-aware engine (backend=oocore)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="shard count for --oocore (default: a slot-volume heuristic, "
+        "env REPRO_OOCORE_SHARDS)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="resident-byte budget for --oocore, e.g. 2G or 512M "
+        "(env REPRO_OOCORE_BUDGET); the engine refuses runs that "
+        "would not fit",
+    )
+
+
+def _apply_oocore_args(args):
+    """Fold --oocore/--shards/--memory-budget into the backend + env knobs.
+
+    The env variables are the single source of truth the oocore tier reads
+    (so jobs forked by the runner inherit them); the flags just set them.
+    """
+    if getattr(args, "shards", None):
+        os.environ["REPRO_OOCORE_SHARDS"] = str(args.shards)
+    if getattr(args, "memory_budget", None):
+        from repro.oocore.store import parse_bytes
+
+        os.environ["REPRO_OOCORE_BUDGET"] = str(parse_bytes(args.memory_budget))
+    if getattr(args, "oocore", False):
+        args.backend = "oocore"
+
+
 def _print_outcomes(args, out, outcomes):
     """Render a list of job outcomes (table or JSON); returns the exit code."""
     failures = [o for o in outcomes if not o.ok]
@@ -167,10 +209,16 @@ def _cmd_color_jobs(args, out, workers):
 
 
 def _cmd_color(args, out):
+    _apply_oocore_args(args)
     workers = _worker_count(args)
     if workers > 1 or args.seeds > 1:
         return _cmd_color_jobs(args, out, workers)
-    graph = _build_graph(args)
+    if args.backend == "oocore":
+        from repro.oocore.writers import ensure_sharded
+
+        graph = ensure_sharded(_graph_spec(args), shards=args.shards)
+    else:
+        graph = _build_graph(args)
     visibility = Visibility.SET_LOCAL if args.set_local else None
     with _telemetry_sink(args, out):
         if args.algorithm == "cor36":
@@ -322,6 +370,8 @@ def _cmd_sweep(args, out):
     """Run an ``ns x degrees x seeds`` grid through the sharded job runner."""
     from repro import parallel
 
+    _apply_oocore_args(args)
+
     ns = [int(value) for value in args.n.split(",")]
     degrees = [int(value) for value in args.degree.split(",")]
     seeds = list(range(args.seed, args.seed + args.seeds))
@@ -414,6 +464,7 @@ def build_parser():
         help="collect structured telemetry for the run and write it as "
         "JSONL to PATH (inspect with `repro-coloring obs summary PATH`)",
     )
+    _add_oocore_arguments(color)
     color.set_defaults(func=_cmd_color)
 
     sweep = sub.add_parser(
@@ -471,6 +522,7 @@ def build_parser():
         metavar="PATH",
         help="write the merged parent+worker telemetry stream to PATH",
     )
+    _add_oocore_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     edge = sub.add_parser("edge-color", help="(2*Delta-1)-edge-coloring (CONGEST)")

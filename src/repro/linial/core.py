@@ -12,7 +12,7 @@ The single-iteration primitive :func:`linial_next_color` is shared by:
 
 from repro.linial.plan import linial_plan
 from repro.mathutil.gf import (
-    batch_eval_points,
+    batch_eval_point,
     batch_poly_coeffs,
     eval_poly_mod,
     int_to_poly_coeffs,
@@ -21,10 +21,11 @@ from repro.runtime.algorithm import LocallyIterativeColoring
 
 __all__ = ["linial_next_color", "linial_round_batch", "LinialColoring"]
 
-# Evaluation points are processed in small blocks: almost every vertex
-# succeeds within the first few points, so the (2m x block) comparison
-# never materializes the full (2m x q) conflict matrix.
-_POINT_BLOCK = 16
+# Evaluation points are processed one at a time (Horner column per point):
+# almost every vertex succeeds within the first few points, so the scan
+# exits early and the kernel's largest transient is a single length-n
+# column — never an (n x block) value matrix, which at out-of-core shard
+# sizes (multi-million-row states) dominated peak RSS.
 
 
 def linial_round_batch(stage, round_index, colors, csr, visibility, q, degree):
@@ -53,24 +54,19 @@ def linial_round_batch(stage, round_index, colors, csr, visibility, q, degree):
     # Only distinct-colored neighbors can ever conflict; slice them once.
     distinct_rows = csr.rows[distinct]
     distinct_nbrs = csr.indices[distinct]
-    for first in range(0, q, _POINT_BLOCK):
-        xs = np.arange(first, min(first + _POINT_BLOCK, q), dtype=np.int64)
-        values = batch_eval_points(coeffs, xs, q)
-        for j in range(xs.size):
-            # Re-select per point: pending collapses after the first few
-            # points, so later columns gather almost nothing.
-            slot_sel = pending[distinct_rows]
-            rows = distinct_rows[slot_sel]
-            column = values[:, j]
-            conflict = np.zeros(n, dtype=bool)
-            if rows.size:
-                agree = column[distinct_nbrs[slot_sel]] == column[rows]
-                conflict[rows[agree]] = True
-            free = pending & ~conflict
-            new_colors[free] = int(xs[j]) * q + column[free]
-            pending &= conflict
-            if not bool(pending.any()):
-                break
+    for x in range(q):
+        # Re-select per point: pending collapses after the first few
+        # points, so later iterations gather almost nothing.
+        column = batch_eval_point(coeffs, x, q)
+        slot_sel = pending[distinct_rows]
+        rows = distinct_rows[slot_sel]
+        conflict = np.zeros(n, dtype=bool)
+        if rows.size:
+            agree = column[distinct_nbrs[slot_sel]] == column[rows]
+            conflict[rows[agree]] = True
+        free = pending & ~conflict
+        new_colors[free] = x * q + column[free]
+        pending &= conflict
         if not bool(pending.any()):
             break
     if bool(pending.any()):

@@ -15,6 +15,7 @@ __all__ = [
     "int_to_poly_coeffs",
     "eval_poly_mod",
     "batch_poly_coeffs",
+    "batch_eval_point",
     "batch_eval_points",
     "GFPolynomial",
 ]
@@ -77,6 +78,30 @@ def batch_poly_coeffs(values, degree, q):
         coeffs[:, position] = remaining % q
         remaining //= q
     return coeffs
+
+
+def batch_eval_point(coeffs, x, q):
+    """Evaluate every row polynomial at one point mod ``q`` (Horner, one column).
+
+    The memory-lean sibling of :func:`batch_eval_points`: callers that scan
+    evaluation points with an early exit (the batch Linial kernel) allocate
+    one int64 column per point instead of a ``(rows, points)`` block, which
+    at out-of-core sizes is the difference between a ~40 MB and a ~GB
+    transient.  Reducing mod ``q`` after every Horner step keeps every
+    intermediate below ``q**2 + q`` — exact in int64 for any plannable field.
+    """
+    import numpy as np
+
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    if coeffs.shape[1] == 0:
+        return np.zeros(coeffs.shape[0], dtype=np.int64)
+    x = int(x) % q
+    result = coeffs[:, -1] % q
+    for position in range(coeffs.shape[1] - 2, -1, -1):
+        result *= x
+        result += coeffs[:, position]
+        result %= q
+    return result
 
 
 def batch_eval_points(coeffs, points, q):

@@ -1,0 +1,551 @@
+"""The out-of-core coloring engine: batch rounds over memory-mapped shards.
+
+:class:`OocoreColoringEngine` executes the same synchronous rounds as
+:class:`~repro.runtime.fast_engine.BatchColoringEngine` — same early exits,
+same metrics rows, same exceptions — but never holds more than one shard's
+working set plus the O(n) color planes resident.  Differential parity
+(colors, rounds, per-round metrics) against the in-memory batch engine is
+enforced by ``tests/test_oocore_engine.py`` at sizes where both fit.
+
+Round structure per stage run:
+
+1. encode: ``batch_encode_initial`` shard by shard into the double-buffered
+   state planes (:class:`~repro.oocore.store.PlaneStore` memmap files);
+2. rounds: a :class:`~repro.parallel.partition.PartitionRunner` steps every
+   shard on its local CSR, exchanging only boundary (halo) colors between
+   rounds; per-round ``changed``/``finalized``/``conflicts`` aggregate to
+   exactly the batch engine's numbers because vertex ownership is a
+   partition and forward edges are counted at their smaller endpoint;
+3. decode: ``batch_decode_final`` shard by shard (ascending, so the first
+   out-of-palette vertex matches the batch engine's error) into both the
+   persistent ``colors.i64`` plane and the result array.
+
+The engine refuses stages without the batch protocol (there is no scalar
+fallback out of core) and ``record_history`` (O(rounds * n) by definition).
+
+Also here: :func:`oocore_greedy`, sequential first-fit executed shard by
+shard with the wave-parallel kernel — bit-identical to
+:func:`repro.baselines.greedy.greedy_coloring` in the default order.
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.errors import ImproperColoringError, PaletteOverflowError
+from repro.obs import core as obs
+from repro.oocore.store import (
+    MemoryBudgetError,
+    PlaneStore,
+    ShardedCSRGraph,
+    memory_budget,
+    peak_rss_bytes,
+    release_pages,
+    scratch_root,
+)
+from repro.runtime.algorithm import NetworkInfo
+from repro.runtime.csr import numpy_or_none
+from repro.runtime.engine import RunResult, Visibility
+from repro.runtime.fast_engine import BatchColoringEngine, batch_supported
+from repro.runtime.metrics import MetricsLog, RoundMetrics
+
+__all__ = ["OocoreColoringEngine", "OocoreRunResult", "oocore_greedy"]
+
+#: Above this many vertices the engine stops pinning the full final state in
+#: RAM, and ``result.colors`` (scalar tuples) becomes unavailable — the
+#: decoded int64 array is the product at scale.
+_SCALAR_STATE_LIMIT = 1 << 22
+
+
+class OocoreRunResult(RunResult):
+    """A :class:`RunResult` that materializes its Python views lazily.
+
+    ``int_colors_array`` (the decoded int64 array) is the primary artifact;
+    ``int_colors`` and ``colors`` are derived on first access so a
+    10^7-vertex run does not pay for Python lists it never reads.
+    """
+
+    def __init__(self, stage, final_state, decoded, rounds_used, metrics):
+        self._stage = stage
+        self._final_state = final_state
+        self.rounds_used = rounds_used
+        self.metrics = metrics
+        self.history = None
+        self.int_colors_array = decoded
+        self._num_colors = None
+        self._int_colors = None
+        self._colors = None
+
+    @property
+    def int_colors(self):
+        """The final coloring as a plain-int list (memoized from the plane)."""
+        if self._int_colors is None:
+            self._int_colors = self.int_colors_array.tolist()
+        return self._int_colors
+
+    @property
+    def colors(self):
+        """The final scalar color tuples, matching the in-memory engines.
+
+        Only retained at test sizes: above ``_SCALAR_STATE_LIMIT`` vertices
+        the decoded state is dropped and this raises — use
+        :attr:`int_colors_array` at out-of-core scale.
+        """
+        if self._colors is None:
+            if self._final_state is None:
+                raise RuntimeError(
+                    "scalar color tuples are not retained above %d vertices; "
+                    "use result.int_colors_array" % _SCALAR_STATE_LIMIT
+                )
+            self._colors = BatchColoringEngine._to_scalar(
+                self._stage, self._final_state
+            )
+        return self._colors
+
+    @property
+    def num_colors(self):
+        if self._num_colors is None:
+            np = numpy_or_none()
+            self._num_colors = int(np.unique(self.int_colors_array).shape[0])
+        return self._num_colors
+
+
+class OocoreColoringEngine:
+    """Drop-in engine (``backend=\"oocore\"``) over a sharded graph.
+
+    Accepts a :class:`~repro.oocore.store.ShardedCSRGraph` directly, or any
+    CSR-bearing graph — which is converted into a scratch shard directory
+    owned (and deleted) by the engine.
+
+    Parameters mirror the other engines where they make sense;
+    ``record_history`` is rejected, scalar-only stages raise.  ``workers``
+    picks the fan-out width (default: inline), ``shards`` only applies when
+    the engine has to convert an in-memory graph.
+    """
+
+    def __init__(
+        self,
+        graph,
+        visibility=Visibility.LOCAL,
+        check_proper_each_round=False,
+        record_history=False,
+        shards=None,
+        workers=None,
+        scratch=None,
+    ):
+        np = numpy_or_none()
+        if np is None:
+            raise RuntimeError(
+                "backend='oocore' needs NumPy; install it with "
+                "`pip install repro[fast]`"
+            )
+        if record_history:
+            raise ValueError(
+                "record_history is not supported by the oocore engine "
+                "(it is O(rounds * n) resident by definition)"
+            )
+        self._np = np
+        self._owned_dir = None
+        if not isinstance(graph, ShardedCSRGraph):
+            from repro.oocore.writers import shard_static_graph
+
+            base = scratch or scratch_root()
+            self._owned_dir = tempfile.mkdtemp(prefix="repro-oocore-", dir=base)
+            graph = shard_static_graph(graph, self._owned_dir, shards=shards)
+        self.graph = graph
+        self.visibility = visibility
+        self.check_proper_each_round = check_proper_each_round
+        self.record_history = False
+        self.workers = workers
+        self._scratch_base = scratch or scratch_root()
+
+    def __del__(self):
+        # getattr: __init__ may have raised before _owned_dir existed.
+        owned = getattr(self, "_owned_dir", None)
+        if owned is not None:
+            shutil.rmtree(owned, ignore_errors=True)
+
+    # -- budget accounting ------------------------------------------------------
+
+    def _max_shard_extents(self):
+        np = self._np
+        graph = self.graph
+        indptr = graph._indptr_memmap()
+        max_k = max_slots = 0
+        for lo, hi in graph.ranges:
+            max_k = max(max_k, hi - lo)
+            max_slots = max(max_slots, int(indptr[hi]) - int(indptr[lo]))
+        return max_k, max_slots
+
+    def _enforce_budget(self, ncomp, budget):
+        """Planned resident bytes vs the configured budget (raise early).
+
+        Counted: the initial/decoded O(n) arrays, one shard's local CSR and
+        double state (old + new, owned + halo), and the halo planes.  The
+        state planes themselves are memmaps whose pages are dropped after
+        every shard task, so only one shard's window is charged.
+        """
+        graph = self.graph
+        max_k, max_slots = self._max_shard_extents()
+        max_h = 0
+        for i in range(graph.shards):
+            max_h = max(
+                max_h, graph.halo_offsets[i + 1] - graph.halo_offsets[i]
+            )
+        planned = 8 * (
+            2 * graph.n
+            + 6 * max_slots
+            + 2 * ncomp * (max_k + max_h)
+            + 2 * ncomp * max_k
+            + ncomp * graph.total_halo()
+        )
+        if planned > budget:
+            raise MemoryBudgetError(
+                "planned resident footprint %d bytes exceeds "
+                "REPRO_OOCORE_BUDGET=%d (n=%d, shards=%d, ncomp=%d); "
+                "raise the budget or the shard count"
+                % (planned, budget, graph.n, graph.shards, ncomp)
+            )
+        return planned
+
+    # -- the run loop -----------------------------------------------------------
+
+    def run(self, stage, initial_coloring, in_palette_size=None,
+            max_rounds=None, configure=True):
+        """Execute ``stage``; contract and outputs as the batch engine."""
+        np = self._np
+        graph = self.graph
+        if not batch_supported(stage):
+            raise RuntimeError(
+                "stage %s has no batch kernel; the oocore engine requires "
+                "the batch protocol" % getattr(stage, "name", stage)
+            )
+        if len(initial_coloring) != graph.n:
+            raise ValueError("initial coloring must assign a color to every vertex")
+        initial = np.asarray(initial_coloring, dtype=np.int64)
+        if in_palette_size is None:
+            in_palette_size = (int(initial.max()) + 1) if graph.n else 1
+        if configure:
+            stage.configure(NetworkInfo(graph.n, graph.max_degree, in_palette_size))
+
+        budget = memory_budget()
+        tel = obs.active()
+        recording = tel.enabled
+        run_start = time.perf_counter() if recording else 0.0
+        round_rows = [] if recording else None
+
+        scratch = tempfile.mkdtemp(prefix="repro-oocore-planes-", dir=self._scratch_base)
+        planes = None
+        runner = None
+        io_read = io_written = halo_bytes_total = 0
+        try:
+            # Encode shard by shard; the first shard reveals the component
+            # count so the planes can be sized.
+            planes = None
+            all_final = True
+            for lo, hi in graph.ranges:
+                if hi == lo:
+                    continue
+                state = stage.batch_encode_initial(initial[lo:hi])
+                if planes is None:
+                    planes = PlaneStore(scratch, graph.n, len(state))
+                    if budget is not None:
+                        self._enforce_budget(len(state), budget)
+                for comp, column in enumerate(state):
+                    planes.view(0, comp)[lo:hi] = column
+                    io_written += column.nbytes
+                all_final = all_final and bool(stage.batch_is_final(state).all())
+            if planes is None:  # empty graph
+                state = stage.batch_encode_initial(initial)
+                planes = PlaneStore(scratch, graph.n, len(state))
+            planes.release_resident()
+
+            from repro.parallel.partition import PartitionRunner
+
+            cache_bytes = (budget // 4) if budget is not None else (256 << 20)
+            runner = PartitionRunner(
+                graph, planes, stage, self.visibility,
+                workers=self.workers, cache_bytes=cache_bytes,
+                release_planes=budget is not None,
+            )
+
+            metrics = MetricsLog()
+            if self.check_proper_each_round and stage.maintains_proper:
+                self._assert_proper(stage, planes, 0, -1)
+
+            bound = stage.rounds_bound if max_rounds is None else max_rounds
+            rounds_used = 0
+            src = 0
+            for round_index in range(bound):
+                if all_final:
+                    break
+                if recording:
+                    round_start = time.perf_counter()
+                agg = runner.run_round(
+                    round_index, src, want_conflicts=recording
+                )
+                changed = agg["changed"]
+                messages = 2 * graph.m
+                bits = messages * stage.message_bits(round_index)
+                metrics.record(RoundMetrics(round_index, messages, bits, changed))
+                src = 1 - src
+                rounds_used += 1
+                all_final = agg["all_final"]
+                io_read += agg["io_read"]
+                io_written += agg["io_written"]
+                halo_bytes_total += agg["halo_bytes"]
+                if recording:
+                    round_rows.append({
+                        "round": round_index,
+                        "messages": messages,
+                        "bits": bits,
+                        "changed": changed,
+                        "finalized": agg["finalized"],
+                        "conflicts": agg["conflicts"],
+                        "seconds": time.perf_counter() - round_start,
+                    })
+                if self.check_proper_each_round and stage.maintains_proper:
+                    self._assert_proper(stage, planes, src, round_index)
+                if changed == 0 and (
+                    stage.uniform_step
+                    or (
+                        stage.uniform_after is not None
+                        and round_index >= stage.uniform_after
+                    )
+                ):
+                    # Fixed point of a round-independent rule: identical
+                    # early exit to both in-memory engines.
+                    break
+
+            decoded, final_state = self._decode(stage, planes, src)
+            if recording:
+                self._record_run(
+                    tel, stage, in_palette_size, rounds_used, metrics,
+                    round_rows, time.perf_counter() - run_start,
+                    io_read, io_written, halo_bytes_total,
+                )
+            result = OocoreRunResult(stage, final_state, decoded, rounds_used, metrics)
+            return result
+        finally:
+            if runner is not None:
+                runner.close()
+            if planes is not None:
+                planes.close()
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def _decode(self, stage, planes, src):
+        """Shard-by-shard decode into the colors plane and the result array.
+
+        Ascending shard order makes the first out-of-palette vertex global-
+        index-identical to the batch engine's ``PaletteOverflowError``.
+        """
+        np = self._np
+        graph = self.graph
+        decoded = np.empty(graph.n, dtype=np.int64)
+        out = stage.out_palette_size
+        colors_plane = graph.colors_plane() if graph.n else None
+        for lo, hi in graph.ranges:
+            if hi == lo:
+                continue
+            state = tuple(
+                np.array(planes.view(src, comp)[lo:hi])
+                for comp in range(planes.ncomp)
+            )
+            part = stage.batch_decode_final(state)
+            bad = (part < 0) | (part >= out)
+            if bool(bad.any()):
+                i = int(np.argmax(bad))
+                raise PaletteOverflowError(
+                    "vertex %d got color %r outside palette of size %d (stage %s)"
+                    % (lo + i, int(part[i]), out, stage.name)
+                )
+            decoded[lo:hi] = part
+            colors_plane[lo:hi] = part
+        if colors_plane is not None:
+            release_pages(colors_plane)
+        graph.release_resident()
+        # Lazy scalar views (``result.colors``) need the full final state;
+        # pin it only while that is cheap.  At out-of-core sizes the decoded
+        # array is the product and scalar tuples stay unavailable.
+        if graph.n <= _SCALAR_STATE_LIMIT:
+            final_state = tuple(
+                np.array(planes.view(src, comp)[: graph.n])
+                for comp in range(planes.ncomp)
+            )
+        else:
+            final_state = None
+        return decoded, final_state
+
+    def _assert_proper(self, stage, planes, src, round_index):
+        """Mirror of the batch engine's per-round properness assertion."""
+        np = self._np
+        graph = self.graph
+        for shard_id in range(graph.shards):
+            local = graph.local(shard_id)
+            if local.lindices.shape[0] == 0:
+                continue
+            state = tuple(
+                np.concatenate([
+                    np.array(planes.view(src, comp)[local.lo:local.hi]),
+                    np.asarray(planes.view(src, comp))[local.halo],
+                ])
+                for comp in range(planes.ncomp)
+            )
+            fwd = local.global_indices() > local.owner_globals()
+            if not bool(fwd.any()):
+                continue
+            rows = local.csr().rows[: local.lindices.shape[0]][fwd]
+            nbrs = local.lindices[fwd]
+            equal = np.ones(rows.shape[0], dtype=bool)
+            for comp in state:
+                equal &= comp[nbrs] == comp[rows]
+            if bool(equal.any()):
+                i = int(np.argmax(equal))
+                u = int(rows[i]) + local.lo
+                v = int(local.global_indices()[np.nonzero(fwd)[0][i]])
+                color_state = tuple(
+                    np.array([comp[int(rows[i])]]) for comp in state
+                )
+                color = BatchColoringEngine._to_scalar(stage, color_state)[0]
+                raise ImproperColoringError(round_index, (u, v), color)
+
+    def _record_run(self, tel, stage, in_palette, rounds_used, metrics,
+                    round_rows, wall_seconds, io_read, io_written, halo_bytes):
+        graph = self.graph
+        tel.event(
+            "engine.run",
+            stage=stage.name,
+            backend="oocore",
+            n=graph.n,
+            m=graph.m,
+            delta=graph.max_degree,
+            in_palette=in_palette,
+            out_palette=stage.out_palette_size,
+            rounds_used=rounds_used,
+            total_messages=metrics.total_messages,
+            total_bits=metrics.total_bits,
+            rounds=round_rows,
+            wall_seconds=wall_seconds,
+        )
+        tel.counter("engine.runs", stage=stage.name)
+        tel.counter("engine.rounds", rounds_used, stage=stage.name)
+        tel.histogram("engine.run_seconds", wall_seconds, stage=stage.name)
+        tel.counter("oocore.shard_io.bytes_read", io_read, stage=stage.name)
+        tel.counter("oocore.shard_io.bytes_written", io_written, stage=stage.name)
+        tel.counter("oocore.halo.bytes", halo_bytes, stage=stage.name)
+        rss = peak_rss_bytes()
+        if rss is not None:
+            tel.gauge("oocore.peak_rss_bytes", rss)
+
+
+def oocore_greedy(graph, order=None):
+    """Sequential first-fit greedy over shards, bit-identical to the oracle.
+
+    Shards are processed in ascending vertex order, so every cross-shard
+    *earlier* neighbor is already final when a shard starts; its color is
+    read from the persistent color plane and seeds the occupancy exactly as
+    an in-shard earlier neighbor would.  Within a shard the standard
+    wave-parallel argument applies.  Only the natural order (``order=None``)
+    is supported out of core.
+    """
+    np = numpy_or_none()
+    if np is None:
+        raise RuntimeError("oocore greedy needs NumPy")
+    if order is not None:
+        raise ValueError(
+            "custom orders are not supported by the out-of-core greedy; "
+            "use the in-memory backend"
+        )
+    if not isinstance(graph, ShardedCSRGraph):
+        raise TypeError("oocore_greedy needs a ShardedCSRGraph")
+    tel = obs.active()
+    io_read = io_written = halo_bytes = 0
+    palette = graph.max_degree + 1
+    plane = graph.colors_plane() if graph.n else None
+    for shard_id in range(graph.shards):
+        local = graph.local(shard_id)
+        k = local.k
+        if k == 0:
+            continue
+        io_read += local.bytes_read
+        h = local.halo.shape[0]
+        sl_global = local.global_indices()
+        io_read += sl_global.nbytes
+        owner_global = local.owner_globals()
+        earlier = sl_global < owner_global
+        rows = local.csr().rows[: local.lindices.shape[0]]
+        colors_local = np.full(k + h, -1, dtype=np.int64)
+        if h:
+            colors_local[k:] = plane[local.halo]
+            halo_bytes += 8 * h
+        # Occupancy half: every earlier neighbor (owned or halo).  Countdown
+        # half: later in-shard neighbors only — later out-of-shard vertices
+        # belong to later shards and are not gated here.
+        e_rows = rows[earlier]
+        e_nbrs = local.lindices[earlier]
+        e_counts = np.bincount(e_rows, minlength=k)
+        e_indptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(e_counts, out=e_indptr[1:])
+        e_order = np.argsort(e_rows, kind="stable")
+        e_indices = e_nbrs[e_order]
+        later_in = (~earlier) & (sl_global < local.hi)
+        l_rows = rows[later_in]
+        l_counts = np.bincount(l_rows, minlength=k)
+        l_indptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(l_counts, out=l_indptr[1:])
+        l_order = np.argsort(l_rows, kind="stable")
+        l_indices = local.lindices[later_in][l_order]
+        # In-shard earlier neighbors gate readiness (halo ones are colored).
+        indeg = np.bincount(
+            rows[earlier & (sl_global >= local.lo)], minlength=k
+        )
+
+        def gather(indptr, indices, wave, repeats):
+            starts = indptr[wave]
+            lens = indptr[wave + 1] - starts
+            total = int(lens.sum())
+            if total == 0:
+                empty = np.zeros(0, dtype=np.int64)
+                return empty, empty
+            shift = np.cumsum(lens) - lens
+            slot = np.repeat(starts - shift, lens) + np.arange(total, dtype=np.int64)
+            spread = np.repeat(repeats, lens) if repeats is not None else None
+            return indices[slot], spread
+
+        wave = np.nonzero(indeg == 0)[0]
+        indeg[wave] = -1
+        remaining = k
+        while wave.size:
+            width = wave.size
+            taken, key_base = gather(
+                e_indptr, e_indices, wave,
+                np.arange(width, dtype=np.int64) * palette,
+            )
+            occupancy = np.bincount(
+                key_base + colors_local[taken], minlength=width * palette
+            ) if taken.size else np.zeros(width * palette, dtype=np.int64)
+            colors_local[wave] = (
+                occupancy.reshape(width, palette) == 0
+            ).argmax(axis=1)
+            remaining -= width
+            if remaining == 0:
+                break
+            later, _ = gather(l_indptr, l_indices, wave, None)
+            if later.size:
+                indeg -= np.bincount(later, minlength=k)
+            wave = np.nonzero(indeg == 0)[0]
+            indeg[wave] = -1
+        plane[local.lo:local.hi] = colors_local[:k]
+        io_written += 8 * k
+        release_pages(plane)
+        graph.release_resident()
+    if tel.enabled:
+        tel.counter("oocore.shard_io.bytes_read", io_read, stage="greedy")
+        tel.counter("oocore.shard_io.bytes_written", io_written, stage="greedy")
+        tel.counter("oocore.halo.bytes", halo_bytes, stage="greedy")
+        rss = peak_rss_bytes()
+        if rss is not None:
+            tel.gauge("oocore.peak_rss_bytes", rss)
+    if graph.n == 0:
+        return []
+    return np.array(plane).tolist()

@@ -30,6 +30,7 @@ from repro.parallel.jobs import (
     register_algorithm,
     resolve_algorithm,
 )
+from repro.parallel.partition import PartitionRunner
 from repro.parallel.runner import JobRunner, run, run_many, run_sweep, sweep_specs
 from repro.parallel.shm import shm_available
 
@@ -37,6 +38,7 @@ __all__ = [
     "JobOutcome",
     "JobSpec",
     "JobRunner",
+    "PartitionRunner",
     "SelfStabReport",
     "algorithm_names",
     "build_graph",

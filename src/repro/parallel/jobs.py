@@ -645,7 +645,14 @@ def execute_job(spec, collect_telemetry=False, graph=None):
     try:
         fn = resolve_algorithm(spec.algorithm)
         if graph is None:
-            graph = build_graph(spec.graph)
+            if spec.backend == "oocore":
+                # Out-of-core jobs stream the generator into (cached) memmap
+                # shards instead of materializing a StaticGraph in RAM.
+                from repro.oocore.writers import ensure_sharded
+
+                graph = ensure_sharded(spec.graph)
+            else:
+                graph = build_graph(spec.graph)
         if collect_telemetry:
             with obs.capture() as tel:
                 result = fn(graph, backend=spec.backend, seed=spec.seed, **spec.params)

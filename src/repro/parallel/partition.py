@@ -1,0 +1,322 @@
+"""Partition-aware round execution over memory-mapped CSR shards.
+
+One :class:`PartitionRunner` serves one stage run of the out-of-core engine
+(:mod:`repro.oocore.engine`): every worker owns one shard of a
+:class:`~repro.oocore.store.ShardedCSRGraph`, runs the stage's existing
+``step_batch`` kernel on its local CSR slice, and the only cross-shard data
+that moves between rounds is each shard's **halo** — the colors of its
+boundary neighbors.
+
+Data planes
+-----------
+* **state planes** — double-buffered per-component int64 memmap files
+  (:class:`~repro.oocore.store.PlaneStore`).  Workers are forked, the files
+  are MAP_SHARED, so shard-disjoint writes are coherent through the page
+  cache without any result pickling.
+* **halo planes** — per-shard ``(ncomp, h)`` buffers the parent fills from
+  the source plane before dispatching a round.  In pool mode they live in
+  ``multiprocessing.shared_memory`` segments owned by the PR-6
+  :class:`~repro.parallel.shm.SegmentManager` (same prefix, same atexit
+  backstop, workers attach and never unlink — a killed worker cannot leak
+  ``/dev/shm`` entries); inline they are plain arrays.  Either way the
+  gathered bytes are the metered boundary exchange.
+
+The parent's ``run_round`` is the synchronous-round barrier: it returns
+only when every shard finished, with the aggregated per-round counters
+(``changed``, ``finalized``, ``all_final``, ``conflicts``, I/O and halo
+bytes).
+"""
+
+from repro.parallel.shm import SegmentManager, shared_memory_or_none
+from repro.runtime.csr import numpy_or_none
+
+__all__ = ["PartitionRunner"]
+
+#: Per-round barrier timeout (seconds) in pool mode; a worker stuck past it
+#: gets the pool terminated and a RuntimeError raised (segments released by
+#: ``close``).
+_DEFAULT_TIMEOUT = 600.0
+
+_WORKER_CTX = {}
+
+
+class _ShardContext:
+    """Everything one process needs to step shards: graph, planes, halo views.
+
+    Lives in the parent for inline execution and (re-created by
+    ``_init_worker``) in every pool worker.  ``cache_bytes`` bounds a tiny
+    LRU of built local CSRs — reused across rounds when the budget allows,
+    re-streamed from disk when it does not.
+    """
+
+    def __init__(self, graph, plane_paths, n, ncomp, stage, visibility,
+                 halo_views, cache_bytes, release_planes):
+        np = numpy_or_none()
+        self.np = np
+        self.graph = graph
+        self.ncomp = ncomp
+        self.stage = stage
+        self.visibility = visibility
+        self.halo_views = halo_views  # shard_id -> (ncomp, h) array
+        self.cache_bytes = cache_bytes
+        self.release_planes = release_planes
+        self.planes = []
+        for buf in (0, 1):
+            row = []
+            for comp in range(ncomp):
+                if n == 0:
+                    row.append(np.zeros(0, dtype=np.int64))
+                else:
+                    row.append(np.memmap(
+                        plane_paths[buf][comp], dtype=np.int64, mode="r+",
+                        shape=(n,),
+                    ))
+            self.planes.append(row)
+        self._locals = {}
+        self._locals_bytes = 0
+
+    def local(self, shard_id):
+        cached = self._locals.get(shard_id)
+        if cached is not None:
+            return cached, 0
+        local = self.graph.local(shard_id)
+        cost = 6 * local.lindices.nbytes + local.halo.nbytes
+        if cost <= self.cache_bytes - self._locals_bytes:
+            self._locals[shard_id] = local
+            self._locals_bytes += cost
+        return local, local.bytes_read
+
+
+def _step_shard(ctx, shard_id, round_index, src, want_conflicts):
+    """One shard, one synchronous round.  Returns the per-shard counters."""
+    np = ctx.np
+    local, io_read = ctx.local(shard_id)
+    lo, hi, k = local.lo, local.hi, local.k
+    halo = ctx.halo_views.get(shard_id)
+    src_planes = ctx.planes[src]
+    dst_planes = ctx.planes[1 - src]
+    state = []
+    for comp in range(ctx.ncomp):
+        owned = np.array(src_planes[comp][lo:hi])
+        if halo is not None and halo.shape[1]:
+            state.append(np.concatenate([owned, halo[comp]]))
+        else:
+            state.append(owned)
+    state = tuple(state)
+    io_read += 8 * k * ctx.ncomp
+    new_state = ctx.stage.step_batch(round_index, state, local.csr(), ctx.visibility)
+    changed = 0
+    if k:
+        changed_mask = np.zeros(k, dtype=bool)
+        for old, new in zip(state, new_state):
+            changed_mask |= old[:k] != new[:k]
+        changed = int(changed_mask.sum())
+    owned_new = tuple(comp[:k] for comp in new_state)
+    for comp in range(ctx.ncomp):
+        dst_planes[comp][lo:hi] = owned_new[comp]
+    io_written = 8 * k * ctx.ncomp
+    final_mask = ctx.stage.batch_is_final(owned_new)
+    finalized = int(final_mask.sum())
+    all_final = bool(final_mask.all())
+    conflicts = 0
+    if want_conflicts and local.lindices.shape[0]:
+        # Forward slots under *global* ids — each edge counted once, at its
+        # smaller endpoint, exactly like the batch engine's edge arrays.
+        fwd = local.global_indices() > local.owner_globals()
+        if bool(fwd.any()):
+            rows = local.csr().rows[: local.lindices.shape[0]][fwd]
+            nbrs = local.lindices[fwd]
+            equal = np.ones(rows.shape[0], dtype=bool)
+            for comp in new_state:
+                equal &= comp[nbrs] == comp[rows]
+            conflicts = int(equal.sum())
+    if ctx.release_planes:
+        from repro.oocore.store import release_pages
+
+        for comp in range(ctx.ncomp):
+            release_pages(dst_planes[comp])
+            release_pages(src_planes[comp])
+        ctx.graph.release_resident()
+    return {
+        "changed": changed,
+        "finalized": finalized,
+        "all_final": all_final,
+        "conflicts": conflicts,
+        "io_read": io_read + local.bytes_read,
+        "io_written": io_written,
+    }
+
+
+def _init_worker(graph_path, plane_paths, n, ncomp, stage, visibility,
+                 segment_names, cache_bytes, release_planes):
+    """Pool initializer: attach the shard files and the halo segments."""
+    from repro.oocore.store import ShardedCSRGraph
+
+    np = numpy_or_none()
+    shared_memory = shared_memory_or_none()
+    graph = ShardedCSRGraph.open(graph_path)
+    halo_views = {}
+    segments = []
+    for shard_id, (name, h) in segment_names.items():
+        segment = shared_memory.SharedMemory(name=name)
+        segments.append(segment)  # keep the mapping alive for the pool's life
+        halo_views[shard_id] = np.ndarray(
+            (ncomp, h), dtype=np.int64, buffer=segment.buf
+        )
+    _WORKER_CTX["ctx"] = _ShardContext(
+        graph, plane_paths, n, ncomp, stage, visibility, halo_views,
+        cache_bytes, release_planes,
+    )
+    _WORKER_CTX["segments"] = segments
+
+
+def _round_task(shard_id, round_index, src, want_conflicts):
+    return _step_shard(
+        _WORKER_CTX["ctx"], shard_id, round_index, src, want_conflicts
+    )
+
+
+class PartitionRunner:
+    """Fan one stage's rounds out over the shards of a sharded graph.
+
+    ``workers`` > 1 requests pool mode (fork + shared-memory halo planes);
+    anything else — including platforms without fork or shm — runs the same
+    shard loop inline in the parent with identical results.  The runner is
+    per stage run: create, call :meth:`run_round` until done, :meth:`close`.
+    """
+
+    def __init__(self, graph, planes, stage, visibility, workers=None,
+                 cache_bytes=0, release_planes=False, timeout=_DEFAULT_TIMEOUT):
+        np = numpy_or_none()
+        self.graph = graph
+        self.planes = planes
+        self.ncomp = planes.ncomp
+        self.timeout = timeout
+        self._pool = None
+        self._manager = None
+        self._halo_ids = {}
+        self._halo_views = {}
+        self._halo_slots = 0
+        for shard_id in range(graph.shards):
+            ids = graph.halo_ids(shard_id)
+            if ids.shape[0]:
+                self._halo_ids[shard_id] = ids
+                self._halo_slots += int(ids.shape[0])
+        workers = 1 if workers is None else int(workers)
+        use_pool = (
+            workers > 1
+            and graph.shards > 1
+            and shared_memory_or_none() is not None
+            and self._fork_context() is not None
+        )
+        if use_pool:
+            self._manager = SegmentManager()
+            segment_names = {}
+            for shard_id, ids in self._halo_ids.items():
+                h = int(ids.shape[0])
+                segment = self._manager.create(8 * self.ncomp * h)
+                segment_names[shard_id] = (segment.name, h)
+                self._halo_views[shard_id] = np.ndarray(
+                    (self.ncomp, h), dtype=np.int64, buffer=segment.buf
+                )
+            context = self._fork_context()
+            self._pool = context.Pool(
+                processes=min(workers, graph.shards),
+                initializer=_init_worker,
+                initargs=(
+                    graph.path, planes.paths, graph.n, self.ncomp, stage,
+                    visibility, segment_names, cache_bytes, release_planes,
+                ),
+            )
+        else:
+            for shard_id, ids in self._halo_ids.items():
+                self._halo_views[shard_id] = np.zeros(
+                    (self.ncomp, ids.shape[0]), dtype=np.int64
+                )
+            self._ctx = _ShardContext(
+                graph, planes.paths, graph.n, self.ncomp, stage, visibility,
+                self._halo_views, cache_bytes, release_planes,
+            )
+
+    @staticmethod
+    def _fork_context():
+        from repro.parallel.runner import _multiprocessing_context
+
+        context = _multiprocessing_context()
+        if context is None:
+            return None
+        if getattr(context, "get_start_method", lambda: "")() != "fork":
+            return None
+        return context
+
+    @property
+    def pool_mode(self):
+        """Whether shards step in forked workers (False: inline loop)."""
+        return self._pool is not None
+
+    def fill_halos(self, src):
+        """Gather every shard's boundary colors from the source plane.
+
+        This *is* the halo exchange: the only cross-shard bytes of a round.
+        Returns the gathered byte count.
+        """
+        src_planes = self.planes.buffer(src)
+        halo_bytes = 0
+        for shard_id, ids in self._halo_ids.items():
+            view = self._halo_views[shard_id]
+            for comp in range(self.ncomp):
+                view[comp] = src_planes[comp][ids]
+            halo_bytes += 8 * self.ncomp * int(ids.shape[0])
+        return halo_bytes
+
+    def run_round(self, round_index, src, want_conflicts=False):
+        """One synchronous round over every shard; returns aggregated counters."""
+        halo_bytes = self.fill_halos(src)
+        tasks = [
+            (shard_id, round_index, src, want_conflicts)
+            for shard_id in range(self.graph.shards)
+        ]
+        if self._pool is not None:
+            async_result = self._pool.starmap_async(_round_task, tasks)
+            try:
+                results = async_result.get(self.timeout)
+            except Exception:
+                # A dead or wedged worker mid-round: terminate the pool now
+                # so close() can release the halo segments deterministically.
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+                raise
+        else:
+            results = [_step_shard(self._ctx, *task) for task in tasks]
+        agg = {
+            "changed": 0, "finalized": 0, "conflicts": 0,
+            "io_read": 0, "io_written": 0,
+            "all_final": True, "halo_bytes": halo_bytes,
+        }
+        for row in results:
+            agg["changed"] += row["changed"]
+            agg["finalized"] += row["finalized"]
+            agg["conflicts"] += row["conflicts"]
+            agg["io_read"] += row["io_read"]
+            agg["io_written"] += row["io_written"]
+            agg["all_final"] = agg["all_final"] and row["all_final"]
+        return agg
+
+    def close(self):
+        """Tear down the pool and release every halo segment."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._manager is not None:
+            self._manager.close()
+            self._manager = None
+        self._halo_views = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -101,8 +101,15 @@ _ATEXIT_REGISTERED = False
 
 
 def _cleanup_managers():
+    # Each manager individually: one close() blowing up (a view pinned by a
+    # worker that died mid-round, an interpreter half torn down) must not
+    # stop the remaining managers — e.g. the partition runner's halo
+    # segments — from being unlinked.
     for manager in list(_LIVE_MANAGERS):
-        manager.close()
+        try:
+            manager.close()
+        except Exception:
+            pass
 
 
 class SegmentManager:
@@ -164,8 +171,20 @@ class SegmentManager:
             pass
 
     def close(self):
-        """Release every owned segment (no-op in forked children)."""
+        """Release every owned segment (close-only in forked children).
+
+        A forked child inheriting the manager (pool workers, including the
+        partition runner's halo workers) must never unlink the parent's
+        segments — but it must still close its inherited mappings, or a
+        worker dying between rounds pins the segment memory until every
+        other mapping drops.
+        """
         if os.getpid() != self._pid:
+            for segment in self._segments.values():
+                try:
+                    segment.close()
+                except (BufferError, OSError):
+                    pass
             self._segments.clear()
             return
         for name in list(self._segments):

@@ -160,6 +160,26 @@ def _engine_auto(graph, stages=None, **kwargs):
     return ColoringEngine(graph, **kwargs)
 
 
+def _engine_oocore(graph, stages=None, **kwargs):
+    """The out-of-core engine over memory-mapped CSR shards.
+
+    Accepts a :class:`~repro.oocore.store.ShardedCSRGraph` directly or any
+    CSR-bearing graph (converted into scratch shards).  NumPy is mandatory:
+    the out-of-core tier exists purely to scale the batch kernels past RAM
+    and has no scalar fallback.
+    """
+    from repro.runtime.csr import numpy_available
+
+    if not numpy_available():
+        raise RuntimeError(
+            "backend='oocore' needs NumPy; install it with "
+            "`pip install repro[fast]`"
+        )
+    from repro.oocore.engine import OocoreColoringEngine
+
+    return OocoreColoringEngine(graph, **kwargs)
+
+
 # -- builtin backends: the self-stabilization engine --------------------------------
 
 
@@ -212,6 +232,7 @@ def _selfstab_auto(graph, algorithm, **kwargs):
 register_backend("engine", "auto", _engine_auto)
 register_backend("engine", "batch", _engine_batch)
 register_backend("engine", "numba", _engine_numba)
+register_backend("engine", "oocore", _engine_oocore)
 register_backend("engine", "reference", _engine_reference)
 register_backend("selfstab", "auto", _selfstab_auto)
 register_backend("selfstab", "batch", _selfstab_batch)

@@ -38,6 +38,63 @@ class TestWorkspace:
         with pytest.raises(WorkspaceOverflowError):
             ws.put("b", 2, 8)
 
+    def test_budget_boundary_exactly_at_limit_passes(self):
+        ws = Workspace(bit_limit=16)
+        ws.put("a", 1, 8)
+        ws.put("b", 2, 8)  # live == limit: inside the budget
+        assert ws.live_bits == 16
+        with pytest.raises(WorkspaceOverflowError):
+            ws.put("c", 3, 1)  # one bit over
+
+    def test_budget_overflow_still_stores_the_value(self):
+        # The register is written before the limit check: the error message
+        # names the offending register set, and a test harness can inspect
+        # the state that blew the budget.
+        ws = Workspace(bit_limit=10)
+        ws.put("a", 1, 8)
+        with pytest.raises(WorkspaceOverflowError):
+            ws.put("b", 2, 8)
+        assert ws.get("b") == 2
+        assert ws.live_bits == 16
+
+    def test_free_missing_register_is_a_noop(self):
+        ws = Workspace()
+        ws.put("a", 1, 8)
+        ws.free("never-stored")
+        assert ws.live_bits == 8
+        ws.free("a")
+        ws.free("a")  # double-free: also a no-op
+        assert ws.live_bits == 0
+
+    def test_overwrite_grow_has_no_transient_peak(self):
+        # 8 -> 16 must account as a replacement (peak 16), not as a
+        # transient 24-bit spike of both generations live at once.
+        ws = Workspace()
+        ws.put("a", 1, 8)
+        ws.put("a", 2, 16)
+        assert ws.live_bits == 16
+        assert ws.peak_bits == 16
+
+    def test_overwrite_shrink_keeps_old_peak(self):
+        ws = Workspace()
+        ws.put("a", 1, 20)
+        ws.put("a", 2, 5)
+        assert ws.live_bits == 5
+        assert ws.peak_bits == 20
+
+    def test_overwrite_within_budget_never_raises(self):
+        # Replacing a register with a same-width value stays at the limit;
+        # the subtraction must happen before the limit check.
+        ws = Workspace(bit_limit=8)
+        ws.put("a", 1, 8)
+        ws.put("a", 2, 8)
+        assert ws.live_bits == 8
+
+    def test_negative_bits_rejected(self):
+        ws = Workspace()
+        with pytest.raises(ValueError):
+            ws.put("a", 1, -1)
+
     def test_free_all(self):
         ws = Workspace()
         ws.put("a", 1, 8)

@@ -377,3 +377,104 @@ class TestRunnerLifecycle:
         specs = _specs(2, seed=1)
         with pytest.raises(RuntimeError, match="shared-memory"):
             run_many(specs, workers=2, mode="process", shm=True)
+
+
+class TestCleanupOrdering:
+    """Satellite: segment teardown stays leak-free in the ugly paths."""
+
+    def test_forked_child_close_closes_inherited_mappings(self):
+        _needs_shm()
+        if not _fork_available():
+            pytest.skip("fork start method required")
+        manager = SegmentManager()
+        try:
+            segment = manager.create(64)
+            name = segment.name
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # child
+                os.close(read_fd)
+                try:
+                    manager.close()
+                    # close() in the child must drop the mapping but must
+                    # NOT unlink: the parent still owns the segment.
+                    ok = len(manager) == 0 and os.path.exists("/dev/shm/" + name)
+                    os.write(write_fd, b"1" if ok else b"0")
+                finally:
+                    os._exit(0)
+            os.close(write_fd)
+            verdict = os.read(read_fd, 1)
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+            assert verdict == b"1"
+            # The parent's bookkeeping is untouched by the child's close.
+            assert manager.get(name) is segment
+        finally:
+            manager.close()
+        assert _shm_leaks() == []
+
+    def test_cleanup_survives_a_raising_manager(self):
+        _needs_shm()
+        from repro.parallel.shm import _cleanup_managers
+
+        bad = SegmentManager()
+        good = SegmentManager()
+        try:
+            name = good.create(32).name
+
+            def explode():
+                raise BufferError("view still exported")
+
+            bad.close = explode
+            _cleanup_managers()
+            # The raising manager must not stop the healthy one.
+            assert name not in _shm_leaks()
+        finally:
+            del bad.close
+            bad.close()
+            good.close()
+        assert _shm_leaks() == []
+
+    def test_partition_runner_releases_halo_segments(self):
+        _needs_shm()
+        if not _fork_available():
+            pytest.skip("process mode unavailable")
+        import tempfile
+
+        from repro.core.ag import AdditiveGroupColoring
+        from repro.oocore.engine import OocoreColoringEngine
+        from repro.oocore.writers import shard_static_graph
+
+        graph = random_regular(80, 5, seed=3)
+        sharded = shard_static_graph(
+            graph, tempfile.mkdtemp(prefix="shm-partition-test-"), shards=4
+        )
+        result = OocoreColoringEngine(sharded, workers=2).run(
+            AdditiveGroupColoring(), list(range(80))
+        )
+        assert len(result.int_colors) == 80
+        assert _shm_leaks() == []
+
+    def test_partition_runner_cleans_up_after_worker_failure(self):
+        _needs_shm()
+        if not _fork_available():
+            pytest.skip("process mode unavailable")
+        import tempfile
+
+        from repro.core.ag import AdditiveGroupColoring
+        from repro.errors import ImproperColoringError
+        from repro.oocore.engine import OocoreColoringEngine
+        from repro.oocore.writers import shard_static_graph
+
+        graph = random_regular(60, 4, seed=2)
+        sharded = shard_static_graph(
+            graph, tempfile.mkdtemp(prefix="shm-partition-test-"), shards=4
+        )
+        engine = OocoreColoringEngine(
+            sharded, workers=2, check_proper_each_round=True
+        )
+        with pytest.raises(ImproperColoringError):
+            engine.run(
+                AdditiveGroupColoring(), [0] * 60, in_palette_size=60
+            )
+        assert _shm_leaks() == []
