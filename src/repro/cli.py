@@ -11,6 +11,7 @@ Examples::
     repro-coloring mis --family grid --rows 8 --cols 9
     repro-coloring selfstab --n 40 --delta 6 --corruptions 12 --churn 2
     repro-coloring obs summary run.jsonl
+    repro-coloring obs timeline run.jsonl -o trace.json
 """
 
 import argparse
@@ -82,16 +83,35 @@ def _telemetry_sink(args, out):
 
     Installs a live collector around the command body, then writes the JSONL
     event stream (plus the aggregate snapshot line) to the requested path.
+    ``--profile`` additionally sets ``REPRO_PROFILE=1`` in the environment —
+    forked workers inherit it — and runs the sampling profiler over the
+    parent process, flushing its samples into the same stream.
     """
-    path = getattr(args, "telemetry", None)
-    if not path:
-        yield
-        return
-    with obs.capture() as telemetry:
-        yield
-    lines = obs.write_jsonl(telemetry, path)
-    if not getattr(args, "json", False):
-        out.write("telemetry: wrote %d records to %s\n" % (lines, path))
+    profiling = getattr(args, "profile", False)
+    saved = os.environ.get("REPRO_PROFILE")
+    if profiling:
+        os.environ["REPRO_PROFILE"] = "1"
+    try:
+        path = getattr(args, "telemetry", None)
+        if not path:
+            yield
+            return
+        with obs.capture() as telemetry:
+            profiler = obs.maybe_profiler(telemetry)
+            try:
+                yield
+            finally:
+                if profiler is not None:
+                    profiler.stop()
+        lines = obs.write_jsonl(telemetry, path)
+        if not getattr(args, "json", False):
+            out.write("telemetry: wrote %d records to %s\n" % (lines, path))
+    finally:
+        if profiling:
+            if saved is None:
+                os.environ.pop("REPRO_PROFILE", None)
+            else:
+                os.environ["REPRO_PROFILE"] = saved
 
 
 def _graph_spec(args):
@@ -391,9 +411,39 @@ def _cmd_sweep(args, out):
     return _print_outcomes(args, out, outcomes)
 
 
+def _load_records(paths):
+    """Records from one or more telemetry JSONL files (``-`` reads stdin).
+
+    A single input is returned verbatim.  Several inputs are merged through a
+    fresh :class:`~repro.obs.Telemetry` via :meth:`~repro.obs.Telemetry.absorb`
+    — snapshots fold together, events re-sequence while keeping their original
+    flight-recorder stamps — so a parent stream plus per-worker streams read
+    as one coherent run.
+    """
+    batches = [
+        obs.read_jsonl(sys.stdin if path == "-" else path) for path in paths
+    ]
+    if len(batches) == 1:
+        return batches[0]
+    merged = obs.Telemetry()
+    for batch in batches:
+        merged.absorb(batch)
+    return list(merged.events) + [merged.snapshot()]
+
+
 def _cmd_obs_summary(args, out):
-    records = obs.read_jsonl(args.path)
+    records = _load_records(args.paths)
     out.write(obs.summary_table(records))
+    return 0
+
+
+def _cmd_obs_timeline(args, out):
+    records = _load_records(args.paths)
+    if args.output and args.output != "-":
+        events = obs.write_chrome_trace(records, args.output)
+        out.write("timeline: wrote %d trace events to %s\n" % (events, args.output))
+    else:
+        obs.write_chrome_trace(records, out)
     return 0
 
 
@@ -464,6 +514,12 @@ def build_parser():
         help="collect structured telemetry for the run and write it as "
         "JSONL to PATH (inspect with `repro-coloring obs summary PATH`)",
     )
+    color.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the sampling profiler (REPRO_PROFILE=1) in this process "
+        "and every worker; samples land in the --telemetry stream",
+    )
     _add_oocore_arguments(color)
     color.set_defaults(func=_cmd_color)
 
@@ -521,6 +577,12 @@ def build_parser():
         "--telemetry",
         metavar="PATH",
         help="write the merged parent+worker telemetry stream to PATH",
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the sampling profiler (REPRO_PROFILE=1) in this process "
+        "and every worker; samples land in the --telemetry stream",
     )
     _add_oocore_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
@@ -581,6 +643,12 @@ def build_parser():
         help="collect structured telemetry for the demo and write it as "
         "JSONL to PATH",
     )
+    selfstab.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the sampling profiler (REPRO_PROFILE=1) for the demo; "
+        "samples land in the --telemetry stream",
+    )
     selfstab.set_defaults(func=_cmd_selfstab)
 
     obs_parser = sub.add_parser(
@@ -590,8 +658,32 @@ def build_parser():
     obs_summary = obs_sub.add_parser(
         "summary", help="human-readable summary of a telemetry stream"
     )
-    obs_summary.add_argument("path", help="telemetry JSONL file")
+    obs_summary.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="telemetry JSONL file(s); '-' reads stdin, several files are "
+        "merged into one stream",
+    )
     obs_summary.set_defaults(func=_cmd_obs_summary)
+    obs_timeline = obs_sub.add_parser(
+        "timeline",
+        help="export a Chrome-trace / Perfetto timeline (open in ui.perfetto.dev)",
+    )
+    obs_timeline.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="telemetry JSONL file(s); '-' reads stdin, several files are "
+        "merged into one stream",
+    )
+    obs_timeline.add_argument(
+        "-o",
+        "--output",
+        metavar="TRACE",
+        help="write the trace JSON here instead of stdout",
+    )
+    obs_timeline.set_defaults(func=_cmd_obs_timeline)
     obs_prom = obs_sub.add_parser(
         "prom", help="Prometheus text exposition of the aggregate snapshot"
     )

@@ -24,7 +24,9 @@ or process-wide (as the CLI's ``--telemetry out.jsonl`` does)::
     obs.disable()
 
 See ``docs/observability.md`` for the event schema and the bench-regression
-workflow built on top of these records.
+workflow built on top of these records.  :mod:`repro.obs.flight` adds the
+flight-recorder layer on top: Chrome-trace timeline export, the sampling
+profiler (``REPRO_PROFILE=1``), and the pool-worker health watchdog.
 """
 
 from repro.obs.core import (
@@ -43,20 +45,34 @@ from repro.obs.core import (
     span,
 )
 from repro.obs.exporters import (
+    JsonlWriter,
     comparable_view,
     prometheus_text,
     read_jsonl,
     summary_table,
     write_jsonl,
 )
+from repro.obs.flight import (
+    HeartbeatBoard,
+    SamplingProfiler,
+    WorkerWatchdog,
+    chrome_trace,
+    maybe_profiler,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "HeartbeatBoard",
     "Histogram",
+    "JsonlWriter",
     "NullTelemetry",
+    "SamplingProfiler",
     "Span",
     "Telemetry",
+    "WorkerWatchdog",
     "active",
     "capture",
+    "chrome_trace",
     "comparable_view",
     "configure",
     "counter",
@@ -64,9 +80,11 @@ __all__ = [
     "event",
     "gauge",
     "histogram",
+    "maybe_profiler",
     "prometheus_text",
     "read_jsonl",
     "span",
     "summary_table",
+    "write_chrome_trace",
     "write_jsonl",
 ]

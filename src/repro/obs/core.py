@@ -26,11 +26,25 @@ events
     Free-form structured records (one ``engine.run`` record per engine run,
     with per-round rows) — the rows of the JSONL export.
 
+Flight-recorder identity
+------------------------
+Every live collector knows *who* it is: the recording pid, an optional
+``source`` lane label (the job runner sets it to the job id inside workers),
+and a ``trace_id`` shared by every collector of one distributed run.  Events
+and span completions are stamped with a monotonic ``ts`` (the collector's
+clock — ``time.perf_counter`` is CLOCK_MONOTONIC on Linux, which is
+system-wide, so timestamps from forked workers are directly comparable to
+the parent's) plus ``pid``/``source``, which is what lets
+:mod:`repro.obs.flight` reassemble a cross-process timeline.  ``absorb``
+keeps foreign stamps untouched.
+
 The registry is deliberately not thread-safe: the engines are synchronous
 and single-threaded, and keeping the hot path lock-free is the point.
 """
 
+import os
 import time
+import uuid
 from contextlib import contextmanager
 
 __all__ = [
@@ -93,6 +107,10 @@ class NullTelemetry:
     def absorb(self, records, **extra):
         """Discard foreign records (mirror of :meth:`Telemetry.absorb`)."""
         return 0
+
+    def trace_context(self):
+        """No trace to propagate (mirror of :meth:`Telemetry.trace_context`)."""
+        return None
 
     def snapshot(self):
         """An empty aggregate snapshot (keeps exporters total)."""
@@ -164,7 +182,7 @@ class Span:
     context manager.  ``set(**fields)`` attaches extra tags any time before
     the block exits (they land on the span's event)."""
 
-    __slots__ = ("_telemetry", "name", "tags", "path", "seconds", "_start")
+    __slots__ = ("_telemetry", "name", "tags", "path", "seconds", "ts", "_start")
 
     def __init__(self, telemetry, name, tags):
         self._telemetry = telemetry
@@ -172,6 +190,7 @@ class Span:
         self.tags = tags
         self.path = name
         self.seconds = None
+        self.ts = None
         self._start = None
 
     def set(self, **fields):
@@ -184,7 +203,7 @@ class Span:
         if stack:
             self.path = stack[-1].path + "/" + self.name
         stack.append(self)
-        self._start = self._telemetry._clock()
+        self.ts = self._start = self._telemetry._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb):
@@ -204,8 +223,11 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock=time.perf_counter, source=None, trace_id=None):
         self._clock = clock
+        self.pid = os.getpid()
+        self.source = source
+        self.trace_id = uuid.uuid4().hex[:16] if trace_id is None else trace_id
         self.events = []
         self.counters = {}
         self.gauges = {}
@@ -240,9 +262,19 @@ class Telemetry:
         agg.record(value)
 
     def event(self, kind, **fields):
-        """Append one structured record (a future JSONL line)."""
+        """Append one structured record (a future JSONL line).
+
+        Records are stamped with a monotonic ``ts`` plus the collector's
+        ``pid`` / ``source`` lane — via ``setdefault``, so callers replaying
+        buffered observations (the sampling profiler) or relaying foreign
+        records keep the original stamps.
+        """
         record = {"type": kind, "seq": len(self.events)}
         record.update(fields)
+        record.setdefault("ts", self._clock())
+        record.setdefault("pid", self.pid)
+        if self.source is not None:
+            record.setdefault("source", self.source)
         self.events.append(record)
         return record
 
@@ -285,6 +317,15 @@ class Telemetry:
             absorbed += 1
         return absorbed
 
+    def trace_context(self):
+        """The identity to propagate into worker processes (a plain dict).
+
+        Workers created for this run pass it back into :func:`capture` so
+        every collector of the run shares one ``trace_id`` and the exported
+        records stitch into a single timeline.
+        """
+        return {"trace_id": self.trace_id, "source": self.source}
+
     def _finish_span(self, span, error):
         record = {
             "type": "span",
@@ -292,7 +333,11 @@ class Telemetry:
             "name": span.name,
             "path": span.path,
             "seconds": span.seconds,
+            "ts": span.ts,
+            "pid": self.pid,
         }
+        if self.source is not None:
+            record["source"] = self.source
         for key, value in span.tags.items():
             record.setdefault(key, value)
         if error is not None:
@@ -313,6 +358,8 @@ class Telemetry:
         """Aggregated counters / gauges / histograms as one JSON-ready record."""
         return {
             "type": "snapshot",
+            "pid": self.pid,
+            "trace_id": self.trace_id,
             "counters": self._rows(self.counters),
             "gauges": self._rows(self.gauges),
             "histograms": [
@@ -342,10 +389,16 @@ def active():
     return _active
 
 
-def configure(telemetry=None):
-    """Install (and return) a live collector process-wide."""
+def configure(telemetry=None, source=None, trace_id=None):
+    """Install (and return) a live collector process-wide.
+
+    ``source`` / ``trace_id`` seed the fresh collector's flight-recorder
+    identity when no explicit ``telemetry`` instance is supplied.
+    """
     global _active
-    _active = Telemetry() if telemetry is None else telemetry
+    if telemetry is None:
+        telemetry = Telemetry(source=source, trace_id=trace_id)
+    _active = telemetry
     return _active
 
 
@@ -358,8 +411,12 @@ def disable():
 
 
 @contextmanager
-def capture():
+def capture(source=None, trace_id=None):
     """Scoped collection: installs a fresh collector, restores the old one.
+
+    ``source`` labels this collector's lane in the merged timeline and
+    ``trace_id`` joins it to an existing distributed trace (worker processes
+    pass the parent's :meth:`Telemetry.trace_context` values here).
 
     >>> with capture() as tel:
     ...     run_something()
@@ -367,7 +424,7 @@ def capture():
     """
     global _active
     previous = _active
-    telemetry = configure()
+    telemetry = configure(source=source, trace_id=trace_id)
     try:
         yield telemetry
     finally:

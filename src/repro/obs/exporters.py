@@ -15,6 +15,7 @@ telemetry parity can be asserted bit-for-bit in tests.
 import json
 
 __all__ = [
+    "JsonlWriter",
     "comparable_view",
     "prometheus_text",
     "read_jsonl",
@@ -24,38 +25,121 @@ __all__ = [
 
 # Fields whose values are wall-clock or backend-identity dependent (the
 # batch engine hands palettes off as ndarrays where the reference engine
-# hands off lists); stripped by comparable_view so reference-vs-batch
-# telemetry can be compared exactly.
+# hands off lists), plus the flight-recorder stamps (timestamps, process
+# ids, trace ids, per-worker labels and resource readings); stripped by
+# comparable_view so reference-vs-batch telemetry can be compared exactly.
 NONDETERMINISTIC_FIELDS = frozenset(
-    ("seconds", "wall_seconds", "backend", "handoff")
+    (
+        "seconds",
+        "wall_seconds",
+        "backend",
+        "handoff",
+        "ts",
+        "pid",
+        "source",
+        "trace_id",
+        "worker",
+        "stalled_seconds",
+        "rss_bytes",
+        "cpu_seconds",
+        "interval",
+        "samples",
+    )
 )
+
+# Whole record types that only exist because of wall-clock behavior (which
+# worker got which chunk when, how memory moved): dropped entirely by
+# comparable_view — their very presence and count is nondeterministic.
+NONDETERMINISTIC_EVENT_TYPES = frozenset(
+    (
+        "profile.sample",
+        "worker.heartbeat",
+        "worker.stalled",
+        "worker.recovered",
+        "worker.restarted",
+    )
+)
+
+
+class JsonlWriter:
+    """A streaming, per-record-flushed JSONL sink.
+
+    Each :meth:`write` serializes one record, writes it with a trailing
+    newline and flushes the handle, so a process killed mid-run (the
+    timeout pool rebuild path) leaves at worst one torn *final* line —
+    which :func:`read_jsonl` repairs — never a silently truncated stream.
+    """
+
+    def __init__(self, destination):
+        if hasattr(destination, "write"):
+            self._handle = destination
+            self._owns = False
+        else:
+            self._handle = open(destination, "w")
+            self._owns = True
+        self.lines = 0
+
+    def write(self, record):
+        """Serialize, write and flush one record; returns the line count."""
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.lines += 1
+        return self.lines
+
+    def close(self):
+        """Close the handle if this writer opened it (idempotent)."""
+        if self._owns:
+            self._handle.close()
+            self._owns = False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
 
 def write_jsonl(telemetry, destination):
     """Write every event plus the final snapshot as JSON Lines.
 
     ``destination`` is a path or a writable text handle; returns the number
-    of lines written.
+    of lines written.  Writes are flushed per record (:class:`JsonlWriter`),
+    so a crash mid-export cannot leave more than one torn line.
     """
     records = list(telemetry.events) + [telemetry.snapshot()]
-    if hasattr(destination, "write"):
+    with JsonlWriter(destination) as writer:
         for record in records:
-            destination.write(json.dumps(record, sort_keys=True) + "\n")
-    else:
-        with open(destination, "w") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            writer.write(record)
     return len(records)
 
 
-def read_jsonl(source):
-    """Load a JSONL telemetry stream back into a list of records."""
+def read_jsonl(source, strict=False):
+    """Load a JSONL telemetry stream back into a list of records.
+
+    A torn *final* line — the signature a killed writer leaves behind — is
+    silently dropped (the stream up to it is intact because the exporter
+    flushes per record).  Corruption anywhere else still raises
+    ``ValueError`` with the offending line number; ``strict=True`` raises
+    for the torn tail too.
+    """
     if hasattr(source, "read"):
         lines = source.read().splitlines()
     else:
         with open(source) as handle:
             lines = handle.read().splitlines()
-    return [json.loads(line) for line in lines if line.strip()]
+    numbered = [(i + 1, line) for i, line in enumerate(lines) if line.strip()]
+    records = []
+    for pos, (lineno, line) in enumerate(numbered):
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if pos == len(numbered) - 1 and not strict:
+                break  # torn final line: repairable truncation, drop it
+            raise ValueError(
+                "unparseable JSONL record at line %d" % lineno
+            ) from None
+    return records
 
 
 def comparable_view(records):
@@ -64,7 +148,10 @@ def comparable_view(records):
     The result is deterministic for a deterministic workload, so telemetry
     from ``backend="reference"`` and ``backend="batch"`` can be compared for
     equality (the acceptance contract of the batch engines extends to their
-    telemetry).
+    telemetry).  Flight-recorder stamps (``ts`` / ``pid`` / ``source`` /
+    ``trace_id`` / per-worker fields) are stripped, and records that exist
+    only because of scheduling or resource behavior (profiler samples,
+    heartbeats, stall notices) are dropped outright.
     """
     def strip(value):
         if isinstance(value, dict):
@@ -77,7 +164,11 @@ def comparable_view(records):
             return [strip(item) for item in value]
         return value
 
-    return [strip(record) for record in records]
+    return [
+        strip(record)
+        for record in records
+        if record.get("type") not in NONDETERMINISTIC_EVENT_TYPES
+    ]
 
 
 def _prom_name(name):

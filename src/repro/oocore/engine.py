@@ -213,6 +213,15 @@ class OocoreColoringEngine:
     def run(self, stage, initial_coloring, in_palette_size=None,
             max_rounds=None, configure=True):
         """Execute ``stage``; contract and outputs as the batch engine."""
+        with obs.active().span(
+            "engine.run", stage=getattr(stage, "name", "stage"), backend="oocore"
+        ):
+            return self._run_impl(
+                stage, initial_coloring, in_palette_size, max_rounds, configure
+            )
+
+    def _run_impl(self, stage, initial_coloring, in_palette_size,
+                  max_rounds, configure):
         np = self._np
         graph = self.graph
         if not batch_supported(stage):
@@ -233,6 +242,15 @@ class OocoreColoringEngine:
         recording = tel.enabled
         run_start = time.perf_counter() if recording else 0.0
         round_rows = [] if recording else None
+        profiler = None
+        sampling = False
+        if recording:
+            # REPRO_PROFILE=1 turns the single end-of-run VmHWM reading into
+            # a real memory timeline: RSS/CPU samples plus shard-residency
+            # gauges every REPRO_PROFILE_INTERVAL seconds.
+            from repro.obs import flight
+
+            profiler = flight.maybe_profiler(tel)
 
         scratch = tempfile.mkdtemp(prefix="repro-oocore-planes-", dir=self._scratch_base)
         planes = None
@@ -268,6 +286,23 @@ class OocoreColoringEngine:
                 workers=self.workers, cache_bytes=cache_bytes,
                 release_planes=budget is not None,
             )
+            if profiler is not None:
+                # Shard-residency gauges ride along with every RSS sample:
+                # how much plane/halo state the round loop keeps hot.
+                from repro.obs import flight
+
+                ncomp = planes.ncomp
+
+                def _residency():
+                    return {
+                        "oocore.shards": graph.shards,
+                        "oocore.plane_bytes": 16 * graph.n * ncomp,
+                        "oocore.halo_slots": runner._halo_slots,
+                        "oocore.cache_bytes": cache_bytes,
+                    }
+
+                flight.register_sampler("oocore", _residency)
+                sampling = True
 
             metrics = MetricsLog()
             if self.check_proper_each_round and stage.maintains_proper:
@@ -327,6 +362,12 @@ class OocoreColoringEngine:
             result = OocoreRunResult(stage, final_state, decoded, rounds_used, metrics)
             return result
         finally:
+            if profiler is not None:
+                if sampling:
+                    from repro.obs import flight
+
+                    flight.unregister_sampler("oocore")
+                profiler.stop()
             if runner is not None:
                 runner.close()
             if planes is not None:
@@ -447,7 +488,24 @@ def oocore_greedy(graph, order=None):
     an in-shard earlier neighbor would.  Within a shard the standard
     wave-parallel argument applies.  Only the natural order (``order=None``)
     is supported out of core.
+
+    With telemetry live and ``REPRO_PROFILE=1`` set, a sampling profiler
+    records the RSS/CPU timeline of the sweep (``profile.sample`` events).
     """
+    tel = obs.active()
+    profiler = None
+    if tel.enabled:
+        from repro.obs import flight
+
+        profiler = flight.maybe_profiler(tel)
+    try:
+        return _oocore_greedy_impl(graph, order, tel)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+
+
+def _oocore_greedy_impl(graph, order, tel):
     np = numpy_or_none()
     if np is None:
         raise RuntimeError("oocore greedy needs NumPy")
@@ -458,7 +516,6 @@ def oocore_greedy(graph, order=None):
         )
     if not isinstance(graph, ShardedCSRGraph):
         raise TypeError("oocore_greedy needs a ShardedCSRGraph")
-    tel = obs.active()
     io_read = io_written = halo_bytes = 0
     palette = graph.max_degree + 1
     plane = graph.colors_plane() if graph.n else None

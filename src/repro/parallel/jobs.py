@@ -577,7 +577,7 @@ class JobSpec:
 class JobOutcome:
     """The parent-side view of one finished job (success, error, or timeout)."""
 
-    __slots__ = ("spec", "ok", "summary", "error", "seconds", "attempts", "timed_out", "telemetry")
+    __slots__ = ("spec", "ok", "summary", "error", "seconds", "attempts", "timed_out", "telemetry", "worker")
 
     def __init__(self, spec, envelope, attempts, timed_out=False):
         self.spec = spec
@@ -588,6 +588,9 @@ class JobOutcome:
         self.attempts = attempts
         self.timed_out = timed_out
         self.telemetry = envelope.get("telemetry") or []
+        # Executing pid — kept off to_dict: which worker ran a job is
+        # scheduling, not result, and inline-vs-pool outcome dicts must match.
+        self.worker = envelope.get("worker")
 
     @property
     def colors(self):
@@ -627,7 +630,7 @@ class JobOutcome:
 # -- worker-side execution -----------------------------------------------------------
 
 
-def execute_job(spec, collect_telemetry=False, graph=None):
+def execute_job(spec, collect_telemetry=False, graph=None, trace=None):
     """Run one spec in this process; return the envelope dict.
 
     Never raises: algorithm failures come back as ``ok=False`` with the
@@ -639,6 +642,13 @@ def execute_job(spec, collect_telemetry=False, graph=None):
     :class:`~repro.parallel.shm.SharedGraphView` here.  Results are
     bit-identical either way: the view answers every query the generated
     graph would.
+
+    ``trace`` is the parent collector's
+    :meth:`~repro.obs.core.Telemetry.trace_context`: when telemetry is
+    collected, the worker-side capture joins that trace and labels its lane
+    with the job id, so the exported records land on a distinct
+    ``(pid, source)`` timeline lane after stitching.  The envelope carries
+    the executing ``worker`` pid for the parent's utilization counters.
     """
     start = time.perf_counter()
     records = []
@@ -654,8 +664,20 @@ def execute_job(spec, collect_telemetry=False, graph=None):
             else:
                 graph = build_graph(spec.graph)
         if collect_telemetry:
-            with obs.capture() as tel:
-                result = fn(graph, backend=spec.backend, seed=spec.seed, **spec.params)
+            trace = trace or {}
+            with obs.capture(
+                source=spec.job_id, trace_id=trace.get("trace_id")
+            ) as tel:
+                from repro.obs import flight
+
+                profiler = flight.maybe_profiler(tel)
+                try:
+                    result = fn(
+                        graph, backend=spec.backend, seed=spec.seed, **spec.params
+                    )
+                finally:
+                    if profiler is not None:
+                        profiler.stop()
             records = list(tel.events) + [tel.snapshot()]
         else:
             result = fn(graph, backend=spec.backend, seed=spec.seed, **spec.params)
@@ -665,6 +687,7 @@ def execute_job(spec, collect_telemetry=False, graph=None):
             "error": None,
             "seconds": time.perf_counter() - start,
             "telemetry": records,
+            "worker": os.getpid(),
         }
     except Exception as exc:
         return {
@@ -677,6 +700,7 @@ def execute_job(spec, collect_telemetry=False, graph=None):
             },
             "seconds": time.perf_counter() - start,
             "telemetry": records,
+            "worker": os.getpid(),
         }
 
 
@@ -702,7 +726,10 @@ def execute_payload(payload):
             graph = None
     try:
         envelope = execute_job(
-            spec, collect_telemetry=payload.get("telemetry", False), graph=graph
+            spec,
+            collect_telemetry=payload.get("telemetry", False),
+            graph=graph,
+            trace=payload.get("trace"),
         )
         if payload.get("shm_colors") is not None:
             from repro.parallel import shm
@@ -718,5 +745,20 @@ def execute_payload(payload):
 
 
 def execute_chunk(payloads):
-    """Pool entry point for a chunk: one IPC round-trip, many jobs."""
-    return [execute_payload(payload) for payload in payloads]
+    """Pool entry point for a chunk: one IPC round-trip, many jobs.
+
+    When the parent attached a heartbeat board to the payloads, the worker
+    beats before every job and once after the chunk, so the parent's
+    watchdog can tell "still grinding through the chunk" from "wedged".
+    """
+    board = payloads[0].get("heartbeat") if payloads else None
+    if board is None:
+        return [execute_payload(payload) for payload in payloads]
+    from repro.obs import flight
+
+    results = []
+    for payload in payloads:
+        flight.beat(board)
+        results.append(execute_payload(payload))
+    flight.beat(board)
+    return results

@@ -27,6 +27,10 @@ only when every shard finished, with the aggregated per-round counters
 bytes).
 """
 
+import time
+
+from repro.obs import core as obs
+from repro.obs import flight
 from repro.parallel.shm import SegmentManager, shared_memory_or_none
 from repro.runtime.csr import numpy_or_none
 
@@ -148,7 +152,7 @@ def _step_shard(ctx, shard_id, round_index, src, want_conflicts):
 
 
 def _init_worker(graph_path, plane_paths, n, ncomp, stage, visibility,
-                 segment_names, cache_bytes, release_planes):
+                 segment_names, cache_bytes, release_planes, heartbeat=None):
     """Pool initializer: attach the shard files and the halo segments."""
     from repro.oocore.store import ShardedCSRGraph
 
@@ -168,9 +172,15 @@ def _init_worker(graph_path, plane_paths, n, ncomp, stage, visibility,
         cache_bytes, release_planes,
     )
     _WORKER_CTX["segments"] = segments
+    _WORKER_CTX["heartbeat"] = heartbeat
 
 
 def _round_task(shard_id, round_index, src, want_conflicts):
+    board = _WORKER_CTX.get("heartbeat")
+    if board is not None:
+        from repro.obs import flight
+
+        flight.beat(board)
     return _step_shard(
         _WORKER_CTX["ctx"], shard_id, round_index, src, want_conflicts
     )
@@ -209,6 +219,7 @@ class PartitionRunner:
             and shared_memory_or_none() is not None
             and self._fork_context() is not None
         )
+        self._watchdog = None
         if use_pool:
             self._manager = SegmentManager()
             segment_names = {}
@@ -219,6 +230,16 @@ class PartitionRunner:
                 self._halo_views[shard_id] = np.ndarray(
                     (self.ncomp, h), dtype=np.int64, buffer=segment.buf
                 )
+            heartbeat = None
+            tel = obs.active()
+            if tel.enabled and flight.watchdog_enabled():
+                stall = min(
+                    flight.stall_seconds(), max(float(self.timeout) * 0.5, 0.05)
+                ) if self.timeout else flight.stall_seconds()
+                self._watchdog = flight.WorkerWatchdog(
+                    tel, flight.HeartbeatBoard(), stall_after=stall
+                )
+                heartbeat = self._watchdog.board.path
             context = self._fork_context()
             self._pool = context.Pool(
                 processes=min(workers, graph.shards),
@@ -226,6 +247,7 @@ class PartitionRunner:
                 initargs=(
                     graph.path, planes.paths, graph.n, self.ncomp, stage,
                     visibility, segment_names, cache_bytes, release_planes,
+                    heartbeat,
                 ),
             )
         else:
@@ -269,6 +291,32 @@ class PartitionRunner:
             halo_bytes += 8 * self.ncomp * int(ids.shape[0])
         return halo_bytes
 
+    def _wait_round(self, async_result):
+        """Block for the round barrier, polling the watchdog while waiting.
+
+        Same contract as ``async_result.get(self.timeout)`` — raises
+        ``multiprocessing.TimeoutError`` when the round budget expires — but
+        sliced into watchdog polls so a shard worker that stops heartbeating
+        surfaces as ``worker.stalled`` well before the round timeout.
+        """
+        watchdog = self._watchdog
+        if watchdog is None:
+            return async_result.get(self.timeout)
+        import multiprocessing
+
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        while True:
+            step = watchdog.poll_interval
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError
+                step = min(step, remaining)
+            try:
+                return async_result.get(step)
+            except multiprocessing.TimeoutError:
+                watchdog.poll()
+
     def run_round(self, round_index, src, want_conflicts=False):
         """One synchronous round over every shard; returns aggregated counters."""
         halo_bytes = self.fill_halos(src)
@@ -279,13 +327,15 @@ class PartitionRunner:
         if self._pool is not None:
             async_result = self._pool.starmap_async(_round_task, tasks)
             try:
-                results = async_result.get(self.timeout)
+                results = self._wait_round(async_result)
             except Exception:
                 # A dead or wedged worker mid-round: terminate the pool now
                 # so close() can release the halo segments deterministically.
                 self._pool.terminate()
                 self._pool.join()
                 self._pool = None
+                if self._watchdog is not None:
+                    self._watchdog.notice_restart()
                 raise
         else:
             results = [_step_shard(self._ctx, *task) for task in tasks]
@@ -312,6 +362,9 @@ class PartitionRunner:
         if self._manager is not None:
             self._manager.close()
             self._manager = None
+        if self._watchdog is not None:
+            self._watchdog.board.close()
+            self._watchdog = None
         self._halo_views = {}
 
     def __enter__(self):

@@ -26,10 +26,22 @@ live, each worker captures its own collector around the job and ships the
 records back inside the result envelope; the runner absorbs every segment
 into the parent stream *in job order* (tagged ``job=<job_id>``), then logs
 one ``parallel.job`` event per job — so ``--telemetry out.jsonl`` on a
-parallel CLI run produces a single merged stream.
+parallel CLI run produces a single merged stream.  Payloads also carry the
+parent collector's trace context, so worker records share the run's
+``trace_id`` and land on per-job ``(pid, source)`` timeline lanes.
+
+**Worker health watchdog**: while telemetry is live, pool payloads carry a
+:class:`~repro.obs.flight.HeartbeatBoard` path that workers touch between
+chunk jobs; the parent polls the board while waiting on results and emits
+``worker.stalled`` — *before* the per-job timeout fires — plus
+``worker.restarted`` after a timeout pool rebuild and per-worker
+utilization counters (``parallel.worker.jobs``).  ``REPRO_DISABLE_WATCHDOG=1``
+(or ``watchdog=False``) switches the machinery off; with telemetry disabled
+it never engages at all.
 """
 
 import os
+import time
 
 from repro.obs import core as obs
 from repro.parallel.jobs import (
@@ -90,9 +102,13 @@ class JobRunner:
         default), ``True`` (require it; RuntimeError when unavailable), or
         ``False`` (force the by-value protocol).  Only meaningful in process
         mode; results are bit-identical either way.
+    watchdog:
+        ``None`` (heartbeat monitoring whenever telemetry is live in process
+        mode — the default) or ``False`` (never).  ``REPRO_DISABLE_WATCHDOG=1``
+        forces it off regardless.
     """
 
-    def __init__(self, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto", shm=None):
+    def __init__(self, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto", shm=None, watchdog=None):
         if mode not in ("auto", "process", "inline"):
             raise ValueError("unknown runner mode %r" % mode)
         self.workers = _default_workers() if workers is None else max(1, int(workers))
@@ -101,9 +117,11 @@ class JobRunner:
         self.chunk_size = chunk_size
         self.mode = mode
         self.shm = shm
+        self.watchdog = watchdog
         self._context = None
         self._pool = None
         self._manager = None
+        self._watchdog = None
 
     # -- pool lifecycle ----------------------------------------------------------
 
@@ -179,6 +197,7 @@ class JobRunner:
             return []
         tel = obs.active()
         collect = tel.enabled
+        self._watchdog = None
         if self._use_pool():
             outcomes = self._map_pool(specs, collect)
         else:
@@ -234,6 +253,51 @@ class JobRunner:
         plane.annotate(specs, payloads)
         return plane
 
+    def _make_watchdog(self, tel):
+        """A watchdog over a fresh heartbeat board, or None when switched off.
+
+        The stall threshold is clamped under the per-job timeout (when one is
+        set): a ``worker.stalled`` event that can only fire after the timeout
+        already killed the pool would be useless.
+        """
+        if self.watchdog is False or not tel.enabled:
+            return None
+        from repro.obs import flight
+
+        if not flight.watchdog_enabled():
+            return None
+        stall = flight.stall_seconds()
+        if self.timeout is not None:
+            stall = min(stall, max(float(self.timeout) * 0.5, 0.05))
+        return flight.WorkerWatchdog(tel, flight.HeartbeatBoard(), stall_after=stall)
+
+    def _wait(self, handle, njobs, watchdog):
+        """Wait for one chunk's results, polling the watchdog meanwhile.
+
+        Without a watchdog this is a plain blocking ``get``.  With one, the
+        wait is sliced into ``poll_interval`` steps so heartbeat silence
+        surfaces as ``worker.stalled`` long before the chunk deadline;
+        ``multiprocessing.TimeoutError`` is raised once the full per-chunk
+        budget expires, exactly like the blocking path.
+        """
+        import multiprocessing
+
+        total = self.timeout * njobs if self.timeout is not None else None
+        if watchdog is None:
+            return handle.get(total)
+        deadline = None if total is None else time.monotonic() + total
+        while True:
+            step = watchdog.poll_interval
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError
+                step = min(step, remaining)
+            try:
+                return handle.get(step)
+            except multiprocessing.TimeoutError:
+                watchdog.poll()
+
     def _map_pool(self, specs, collect):
         import multiprocessing
 
@@ -242,6 +306,17 @@ class JobRunner:
         timed_out = [False] * len(specs)
         envelopes = [None] * len(specs)
         pending = list(range(len(specs)))
+        watchdog = None
+        if collect:
+            tel = obs.active()
+            trace = tel.trace_context() if hasattr(tel, "trace_context") else None
+            watchdog = self._make_watchdog(tel)
+            for payload in payloads:
+                if trace is not None:
+                    payload["trace"] = trace
+                if watchdog is not None:
+                    payload["heartbeat"] = watchdog.board.path
+        self._watchdog = watchdog
         plane = self._shm_plane(specs, payloads)
 
         try:
@@ -260,9 +335,11 @@ class JobRunner:
                         next_pending.extend(chunk)
                         continue
                     try:
-                        results = handle.get(self.timeout * len(chunk) if self.timeout else None)
+                        results = self._wait(handle, len(chunk), watchdog)
                     except multiprocessing.TimeoutError:
                         self._reset_pool()
+                        if watchdog is not None:
+                            watchdog.notice_restart()
                         aborted = True
                         for i in chunk:
                             attempts[i] += 1
@@ -287,6 +364,8 @@ class JobRunner:
         finally:
             if plane is not None:
                 plane.close()
+            if watchdog is not None:
+                watchdog.board.close()
 
         return [
             JobOutcome(spec, envelopes[i], attempts[i], timed_out=timed_out[i])
@@ -295,6 +374,7 @@ class JobRunner:
 
     def _stitch(self, tel, outcomes):
         """Merge worker telemetry segments into the parent stream, in job order."""
+        watchdog = self._watchdog
         for outcome in outcomes:
             if outcome.telemetry:
                 tel.absorb(outcome.telemetry, job=outcome.spec.job_id)
@@ -303,10 +383,13 @@ class JobRunner:
                 tel.counter("parallel.retries", value=outcome.attempts - 1)
             if outcome.timed_out:
                 tel.counter("parallel.timeouts")
+            if watchdog is not None:
+                watchdog.record_job(outcome.worker)
             tel.event(
                 "parallel.job",
                 job=outcome.spec.job_id,
                 ok=outcome.ok,
+                worker=outcome.worker,
                 seconds=outcome.seconds,
                 attempts=outcome.attempts,
                 timed_out=outcome.timed_out,

@@ -48,6 +48,7 @@ __all__ = [
     "export_graph",
     "offload_colors",
     "restore_colors",
+    "segment_stats",
     "shared_memory_or_none",
     "shm_available",
 ]
@@ -98,6 +99,22 @@ def shm_budget():
 
 _LIVE_MANAGERS = weakref.WeakSet()
 _ATEXIT_REGISTERED = False
+
+
+def segment_stats():
+    """Count and total bytes of every live manager's owned segments.
+
+    A cheap process-wide occupancy reading over ``_LIVE_MANAGERS``; the
+    sampling profiler (:mod:`repro.obs.flight`) records it per sample so a
+    timeline shows when the shared-memory plane fills and drains.
+    """
+    segments = 0
+    total = 0
+    for manager in list(_LIVE_MANAGERS):
+        for segment in list(manager._segments.values()):
+            segments += 1
+            total += int(getattr(segment, "size", 0) or 0)
+    return {"segments": segments, "bytes": total}
 
 
 def _cleanup_managers():

@@ -173,6 +173,19 @@ class ColoringEngine:
         The stage stops early as soon as every vertex reports
         ``stage.is_final(color)``.
         """
+        # The span wraps the whole run (rounds, decode, telemetry record) so
+        # a merged trace shows one engine.run bar per stage execution nested
+        # under its pipeline.stage; free when telemetry is disabled.
+        with obs.active().span(
+            "engine.run", stage=getattr(stage, "name", "stage"), backend="reference"
+        ):
+            return self._run_scalar(
+                stage, initial_coloring, in_palette_size, max_rounds, configure
+            )
+
+    def _run_scalar(
+        self, stage, initial_coloring, in_palette_size, max_rounds, configure
+    ):
         graph = self.graph
         if len(initial_coloring) != graph.n:
             raise ValueError("initial coloring must assign a color to every vertex")

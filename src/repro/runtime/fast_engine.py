@@ -203,9 +203,15 @@ class BatchColoringEngine(ColoringEngine):
                 max_rounds=max_rounds,
                 configure=configure,
             )
-        return self._run_batch(
-            stage, initial_coloring, in_palette_size, max_rounds, configure
-        )
+        # Same engine.run span as the scalar tier (the fallback branch above
+        # gets its span from ColoringEngine.run); the backend tag is stripped
+        # by comparable_view so cross-tier telemetry parity holds.
+        with obs.active().span(
+            "engine.run", stage=getattr(stage, "name", "stage"), backend="batch"
+        ):
+            return self._run_batch(
+                stage, initial_coloring, in_palette_size, max_rounds, configure
+            )
 
     # -- vectorized path --------------------------------------------------------
 
