@@ -12,6 +12,13 @@ A complete reproduction of Barenboim, Elkin, Goldenberg (PODC 2018):
   matching / edge coloring, and bandwidth-efficient (2*Delta-1)-edge-coloring
   for the CONGEST and Bit-Round models.
 
+**Public API**: the supported, versioned surface is :mod:`repro.api` —
+re-exported here, so ``from repro import run`` and ``from repro.api import
+run`` are the same name.  The research classes below (the AG family and
+friends) plus the subpackages are the paper-facing layer; everything else
+under ``repro.*`` is internal and may change between releases
+(``docs/api.md`` has the full supported-vs-internal split).
+
 Quickstart::
 
     from repro import delta_plus_one_coloring, graphgen
@@ -23,6 +30,25 @@ Quickstart::
 """
 
 from repro import analysis, apps, arboricity, bitround, graphgen, lowmem, obs, recipes, trace
+from repro.api import (
+    API_VERSION,
+    JobOutcome,
+    JobRunner,
+    JobSpec,
+    Result,
+    SCHEMA_VERSION,
+    SchemaVersionWarning,
+    ServiceClient,
+    ServiceError,
+    algorithm_names,
+    backend_names,
+    register_algorithm,
+    resolve_backend,
+    run,
+    run_many,
+    run_sweep,
+    summarize,
+)
 from repro.core import (
     AdditiveGroupColoring,
     AdditiveGroupZN,
@@ -38,28 +64,36 @@ from repro.core import (
 from repro.baselines import KuhnWattenhoferReduction, greedy_coloring
 from repro.linial import LinialColoring
 from repro.mathutil import log_star
-from repro.parallel import (
-    JobRunner,
-    JobSpec,
-    register_algorithm,
-    run,
-    run_many,
-    run_sweep,
-)
 from repro.runtime import (
     ColoringEngine,
     ColoringPipeline,
     DynamicGraph,
-    Result,
     StaticGraph,
     Visibility,
-    backend_names,
-    resolve_backend,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # -- the versioned public API (repro.api, v1) --
+    "API_VERSION",
+    "JobOutcome",
+    "JobRunner",
+    "JobSpec",
+    "Result",
+    "SCHEMA_VERSION",
+    "SchemaVersionWarning",
+    "ServiceClient",
+    "ServiceError",
+    "algorithm_names",
+    "backend_names",
+    "register_algorithm",
+    "resolve_backend",
+    "run",
+    "run_many",
+    "run_sweep",
+    "summarize",
+    # -- the paper-facing research layer --
     "AdditiveGroupColoring",
     "ThreeDimensionalAG",
     "AdditiveGroupZN",
@@ -79,15 +113,6 @@ __all__ = [
     "DynamicGraph",
     "Visibility",
     "log_star",
-    "run",
-    "run_many",
-    "run_sweep",
-    "JobSpec",
-    "JobRunner",
-    "register_algorithm",
-    "Result",
-    "resolve_backend",
-    "backend_names",
     "analysis",
     "apps",
     "arboricity",

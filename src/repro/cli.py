@@ -12,6 +12,11 @@ Examples::
     repro-coloring selfstab --n 40 --delta 6 --corruptions 12 --churn 2
     repro-coloring obs summary run.jsonl
     repro-coloring obs timeline run.jsonl -o trace.json
+    repro-coloring serve --db registry.sqlite --socket svc.sock
+    repro-coloring submit --address unix:svc.sock --n 256 --degree 8 --wait
+    repro-coloring runs --address unix:svc.sock --status done --limit 10
+    repro-coloring rerun 3 --address unix:svc.sock --wait
+    repro-coloring tail 3 --address unix:svc.sock --follow
 """
 
 import argparse
@@ -194,19 +199,6 @@ def _print_outcomes(args, out, outcomes):
     return 1 if failures else 0
 
 
-def _worker_count(args):
-    """Resolve ``--workers``, honoring the deprecated ``--jobs`` alias."""
-    if getattr(args, "jobs", None) is not None:
-        import warnings
-
-        warnings.warn(
-            "--jobs is deprecated; use --workers", DeprecationWarning, stacklevel=2
-        )
-        if args.workers is None:
-            return args.jobs
-    return args.workers if args.workers is not None else 1
-
-
 def _cmd_color_jobs(args, out, workers):
     """The sharded fan-out path of ``color`` (``--workers`` / ``--seeds``)."""
     from repro import parallel
@@ -230,7 +222,7 @@ def _cmd_color_jobs(args, out, workers):
 
 def _cmd_color(args, out):
     _apply_oocore_args(args)
-    workers = _worker_count(args)
+    workers = args.workers if args.workers is not None else 1
     if workers > 1 or args.seeds > 1:
         return _cmd_color_jobs(args, out, workers)
     if args.backend == "oocore":
@@ -404,7 +396,7 @@ def _cmd_sweep(args, out):
             backend=args.backend,
             family=args.family,
             params={"k": args.k} if getattr(args, "k", None) else None,
-            workers=_worker_count(args),
+            workers=args.workers if args.workers is not None else 1,
             timeout=args.timeout,
             retries=args.retries,
         )
@@ -429,6 +421,137 @@ def _load_records(paths):
     for batch in batches:
         merged.absorb(batch)
     return list(merged.events) + [merged.snapshot()]
+
+
+def _client(args):
+    """A :class:`~repro.service.client.ServiceClient` for ``--address``."""
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.address)
+
+
+def _print_run_record(args, out, record):
+    """Render one run record (one table line, or JSON with ``--json``)."""
+    if args.json:
+        import json
+
+        out.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return
+    summary = record.get("summary") or {}
+    detail = ""
+    if record["status"] == "done":
+        detail = " rounds=%-5s colors=%-4s" % (
+            summary.get("rounds"),
+            summary.get("num_colors"),
+        )
+    elif record.get("error"):
+        detail = " %s" % record["error"]["kind"]
+    out.write(
+        "run %-4d %-8s %-40s%s\n"
+        % (record["id"], record["status"], record["job_id"], detail)
+    )
+
+
+def _service_errors(out):
+    """Context manager mapping daemon/transport errors to exit-code prose."""
+    import contextlib as _contextlib
+
+    @_contextlib.contextmanager
+    def _guard():
+        from repro.service.client import ServiceError
+
+        try:
+            yield
+        except ServiceError as exc:
+            out.write("error: %s\n" % exc)
+            raise SystemExit(1)
+        except (ConnectionError, FileNotFoundError, OSError) as exc:
+            out.write("error: cannot reach the service: %s\n" % exc)
+            raise SystemExit(1)
+
+    return _guard()
+
+
+def _cmd_serve(args, out):
+    """``repro-coloring serve`` — run the experiment daemon until interrupted."""
+    from repro.service.app import serve
+
+    def _ready(address):
+        out.write("serving on %s (registry %s)\n" % (address, args.db))
+        out.flush()
+
+    serve(
+        args.db,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        telemetry_dir=args.telemetry_dir,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        mode=args.mode,
+        verbose=args.verbose,
+        ready=_ready,
+    )
+    return 0
+
+
+def _cmd_submit(args, out):
+    """``repro-coloring submit`` — queue one job on a running daemon."""
+    spec = {
+        "algorithm": args.algorithm,
+        "graph": _graph_spec(args),
+        "backend": args.backend,
+        "seed": args.seed,
+    }
+    if args.label:
+        spec["label"] = args.label
+    with _service_errors(out):
+        record = _client(args).submit(spec, wait=args.wait, timeout=args.wait_timeout)
+    _print_run_record(args, out, record)
+    return 0 if record["status"] in ("queued", "running", "done") else 1
+
+
+def _cmd_runs(args, out):
+    """``repro-coloring runs`` — list/filter the daemon's run registry."""
+    with _service_errors(out):
+        records = _client(args).runs(
+            algorithm=args.algorithm,
+            n=args.n,
+            delta=args.delta,
+            status=args.status,
+            since=args.since,
+            job_id=args.job_id,
+            limit=args.limit,
+        )
+    if args.json:
+        import json
+
+        out.write(json.dumps(records, indent=2, sort_keys=True) + "\n")
+        return 0
+    for record in records:
+        _print_run_record(args, out, record)
+    out.write("%d run(s)\n" % len(records))
+    return 0
+
+
+def _cmd_rerun(args, out):
+    """``repro-coloring rerun`` — re-execute a stored run by id or job id."""
+    with _service_errors(out):
+        record = _client(args).rerun(args.ref, wait=args.wait, timeout=args.wait_timeout)
+    _print_run_record(args, out, record)
+    return 0 if record["status"] in ("queued", "running", "done") else 1
+
+
+def _cmd_tail(args, out):
+    """``repro-coloring tail`` — stream a run's telemetry JSONL records."""
+    import json
+
+    with _service_errors(out):
+        for record in _client(args).tail(args.ref, follow=args.follow):
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+            out.flush()
+    return 0
 
 
 def _cmd_obs_summary(args, out):
@@ -492,13 +615,6 @@ def build_parser():
         help="shard across N worker processes (with --seeds > 1)",
     )
     color.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="deprecated alias for --workers",
-    )
-    color.add_argument(
         "--seeds",
         type=int,
         default=1,
@@ -557,10 +673,6 @@ def build_parser():
     sweep.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker process count",
-    )
-    sweep.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="deprecated alias for --workers",
     )
     sweep.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -650,6 +762,119 @@ def build_parser():
         "samples land in the --telemetry stream",
     )
     selfstab.set_defaults(func=_cmd_selfstab)
+
+    serve = sub.add_parser(
+        "serve", help="run the experiment daemon over a durable run registry"
+    )
+    serve.add_argument(
+        "--db", default="registry.sqlite", metavar="PATH",
+        help="SQLite run-registry file (created, with migrations, on first use)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix domain socket instead of TCP",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument("--port", type=int, default=8357, help="TCP bind port")
+    serve.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="per-run telemetry JSONL directory (default: telemetry/ beside --db)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the daemon's job runner",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (process mode only)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for a failed or timed-out job",
+    )
+    serve.add_argument(
+        "--mode", choices=["auto", "process", "inline"], default="auto",
+        help="job-runner execution mode",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    def _add_client_arguments(client_parser):
+        client_parser.add_argument(
+            "--address", default="127.0.0.1:8357", metavar="ADDR",
+            help="daemon address: host:port or unix:PATH",
+        )
+
+    submit = sub.add_parser("submit", help="queue one job on a running daemon")
+    _add_client_arguments(submit)
+    _add_graph_arguments(submit)
+    submit.add_argument(
+        "--algorithm", default="cor36",
+        help="job algorithm name (see repro.api.algorithm_names)",
+    )
+    submit.add_argument(
+        "--backend", default="auto", help="engine backend for the job"
+    )
+    submit.add_argument("--label", default=None, help="explicit job id")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the run is terminal and print the finished record",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (the run itself keeps going)",
+    )
+    submit.add_argument("--json", action="store_true", help="print the record as JSON")
+    submit.set_defaults(func=_cmd_submit)
+
+    runs = sub.add_parser("runs", help="list/filter the daemon's run registry")
+    _add_client_arguments(runs)
+    runs.add_argument("--algorithm", default=None, help="filter: algorithm name")
+    runs.add_argument("--n", type=int, default=None, help="filter: vertex count")
+    runs.add_argument(
+        "--delta", type=int, default=None,
+        help="filter: graph degree bound (the spec's degree parameter)",
+    )
+    runs.add_argument(
+        "--status", default=None,
+        choices=["queued", "running", "done", "failed", "timeout"],
+        help="filter: run status",
+    )
+    runs.add_argument(
+        "--since", type=float, default=None, metavar="EPOCH",
+        help="filter: runs created at or after this unix timestamp",
+    )
+    runs.add_argument("--job-id", default=None, help="filter: exact job id")
+    runs.add_argument("--limit", type=int, default=None, help="newest K runs only")
+    runs.add_argument("--json", action="store_true", help="print records as JSON")
+    runs.set_defaults(func=_cmd_runs)
+
+    rerun = sub.add_parser(
+        "rerun", help="re-execute a stored run from its registry spec"
+    )
+    _add_client_arguments(rerun)
+    rerun.add_argument("ref", help="run id, or job-id string (latest matching run)")
+    rerun.add_argument(
+        "--wait", action="store_true",
+        help="poll until the new run is terminal and print the finished record",
+    )
+    rerun.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (the run itself keeps going)",
+    )
+    rerun.add_argument("--json", action="store_true", help="print the record as JSON")
+    rerun.set_defaults(func=_cmd_rerun)
+
+    tail = sub.add_parser("tail", help="stream a run's telemetry JSONL records")
+    _add_client_arguments(tail)
+    tail.add_argument("ref", help="run id, or job-id string (latest matching run)")
+    tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep the stream open while the run is in flight (live tail)",
+    )
+    tail.set_defaults(func=_cmd_tail)
 
     obs_parser = sub.add_parser(
         "obs", help="inspect telemetry JSONL files written by --telemetry"

@@ -60,12 +60,14 @@ from repro.obs.flight import (
     maybe_profiler,
     write_chrome_trace,
 )
+from repro.obs.routing import RoutedTelemetry, route
 
 __all__ = [
     "HeartbeatBoard",
     "Histogram",
     "JsonlWriter",
     "NullTelemetry",
+    "RoutedTelemetry",
     "SamplingProfiler",
     "Span",
     "Telemetry",
@@ -83,6 +85,7 @@ __all__ = [
     "maybe_profiler",
     "prometheus_text",
     "read_jsonl",
+    "route",
     "span",
     "summary_table",
     "write_chrome_trace",

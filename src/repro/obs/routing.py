@@ -1,0 +1,115 @@
+"""Per-run telemetry file routing: a collector that streams to JSONL live.
+
+The batch-oriented exporters write a run's records *after* the run
+(:func:`repro.obs.exporters.write_jsonl` on a finished collector).  The
+experiment service needs the opposite: each run's records must land in that
+run's own JSONL file *as they are recorded*, so ``GET /v1/runs/<id>/telemetry``
+can tail an in-flight run off the flight-recorder stream.
+
+:class:`RoutedTelemetry` is an ordinary :class:`~repro.obs.core.Telemetry`
+whose event stream is additionally drained, record by record, into a
+:class:`~repro.obs.exporters.JsonlWriter` (flushed per record, so a reader
+polling the file never sees more than one torn final line).  Closing the
+collector appends the aggregate snapshot line, making the file identical in
+shape to a ``write_jsonl`` export — every existing ``obs`` CLI subcommand
+and the Chrome-trace exporter read it unchanged.
+
+:func:`route` scopes a routed collector exactly like
+:func:`~repro.obs.core.capture`::
+
+    with route("runs/17.jsonl", source="cor36-regular-n64-s1") as tel:
+        repro.run(spec)          # worker records stitch in -> flushed live
+    # file now ends with the snapshot line
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.core import Telemetry, configure
+from repro.obs.exporters import JsonlWriter
+
+__all__ = ["RoutedTelemetry", "route"]
+
+
+class RoutedTelemetry(Telemetry):
+    """A live collector whose records stream to a JSONL sink as recorded.
+
+    ``destination`` is a path or writable text handle (see
+    :class:`~repro.obs.exporters.JsonlWriter`).  Events, span completions
+    and absorbed worker records are written (and flushed) the moment they
+    enter the event list; :meth:`close` appends the snapshot line and
+    releases the sink.  The in-memory behavior is unchanged — ``events``,
+    ``snapshot()`` and every exporter keep working on the instance.
+    """
+
+    def __init__(self, destination, clock=None, source=None, trace_id=None):
+        kwargs = {"source": source, "trace_id": trace_id}
+        if clock is not None:
+            kwargs["clock"] = clock
+        super().__init__(**kwargs)
+        self._writer = JsonlWriter(destination)
+        self._flushed = 0
+        self._closed = False
+
+    def _drain(self):
+        """Write every not-yet-flushed event to the sink."""
+        if self._closed:
+            return
+        while self._flushed < len(self.events):
+            self._writer.write(self.events[self._flushed])
+            self._flushed += 1
+
+    def event(self, kind, **fields):
+        """Record one event and flush it to the sink immediately."""
+        record = super().event(kind, **fields)
+        self._drain()
+        return record
+
+    def absorb(self, records, **extra):
+        """Stitch foreign records in, flushing each to the sink."""
+        absorbed = super().absorb(records, **extra)
+        self._drain()
+        return absorbed
+
+    def _finish_span(self, span, error):
+        """Append the span-completion record and flush it."""
+        super()._finish_span(span, error)
+        self._drain()
+
+    @property
+    def closed(self):
+        """True once :meth:`close` has sealed the file."""
+        return self._closed
+
+    def close(self):
+        """Flush pending events, append the snapshot line, release the sink.
+
+        Idempotent; after closing, further records stay in memory only (the
+        file is sealed — its final line is the aggregate snapshot, exactly
+        like a :func:`~repro.obs.exporters.write_jsonl` export).
+        """
+        if self._closed:
+            return
+        self._drain()
+        self._writer.write(self.snapshot())
+        self._closed = True
+        self._writer.close()
+
+
+@contextmanager
+def route(destination, source=None, trace_id=None):
+    """Scoped per-run routing: install a :class:`RoutedTelemetry`, restore after.
+
+    The streamed file is complete (snapshot line included) by the time the
+    ``with`` block exits, even on error — the service's per-run telemetry
+    files are sealed exactly when the run reaches a terminal status.
+    """
+    from repro.obs import core
+
+    previous = core.active()
+    telemetry = RoutedTelemetry(destination, source=source, trace_id=trace_id)
+    configure(telemetry)
+    try:
+        yield telemetry
+    finally:
+        configure(previous)
+        telemetry.close()

@@ -26,7 +26,12 @@ import traceback
 from collections import OrderedDict
 
 from repro.obs import core as obs
-from repro.runtime.results import Result, summarize
+from repro.runtime.results import (
+    SCHEMA_VERSION,
+    Result,
+    check_schema_version,
+    summarize,
+)
 
 __all__ = [
     "JobSpec",
@@ -548,8 +553,9 @@ class JobSpec:
         return "-".join(str(part) for part in parts)
 
     def to_dict(self):
-        """The spec as a plain dict (the wire format)."""
+        """The spec as a plain dict (the wire format, ``schema_version``-stamped)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "algorithm": self.algorithm,
             "graph": dict(self.graph),
             "backend": self.backend,
@@ -560,7 +566,14 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, data):
-        """Rebuild a spec from :meth:`to_dict` output."""
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Tolerant reader: a dict stamped with a *newer* ``schema_version``
+        (from a registry or wire peer running a later release) parses on the
+        fields this release knows, after a
+        :class:`~repro.runtime.results.SchemaVersionWarning`.
+        """
+        check_schema_version(data, kind="JobSpec")
         return cls(
             algorithm=data.get("algorithm", "cor36"),
             graph=data.get("graph"),

@@ -106,9 +106,18 @@ class JobRunner:
         ``None`` (heartbeat monitoring whenever telemetry is live in process
         mode — the default) or ``False`` (never).  ``REPRO_DISABLE_WATCHDOG=1``
         forces it off regardless.
+    on_status:
+        Optional callback ``fn(spec, status)`` observing per-job lifecycle
+        transitions: ``"running"`` when a job is dispatched (again on each
+        retry), then exactly one terminal ``"done"`` / ``"failed"`` /
+        ``"timeout"`` as its envelope finalizes — *before* the whole batch
+        completes, which is what lets the experiment service persist status
+        rows while a batch is still in flight.  Callback exceptions are
+        swallowed: observation must never take down the run.  The attribute
+        is plain and may be reassigned between ``map_jobs`` calls.
     """
 
-    def __init__(self, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto", shm=None, watchdog=None):
+    def __init__(self, workers=None, timeout=None, retries=1, chunk_size=None, mode="auto", shm=None, watchdog=None, on_status=None):
         if mode not in ("auto", "process", "inline"):
             raise ValueError("unknown runner mode %r" % mode)
         self.workers = _default_workers() if workers is None else max(1, int(workers))
@@ -118,10 +127,21 @@ class JobRunner:
         self.mode = mode
         self.shm = shm
         self.watchdog = watchdog
+        self.on_status = on_status
         self._context = None
         self._pool = None
         self._manager = None
         self._watchdog = None
+
+    def _notify(self, spec, status):
+        """Report one lifecycle transition to ``on_status`` (never raises)."""
+        if self.on_status is None:
+            return
+        try:
+            self.on_status(spec, status)
+        except Exception:
+            pass
+
 
     # -- pool lifecycle ----------------------------------------------------------
 
@@ -212,9 +232,11 @@ class JobRunner:
             attempts = 0
             while True:
                 attempts += 1
+                self._notify(spec, "running")
                 envelope = execute_job(spec, collect_telemetry=collect)
                 if envelope["ok"] or attempts > self.retries:
                     break
+            self._notify(spec, "done" if envelope["ok"] else "failed")
             outcomes.append(JobOutcome(spec, envelope, attempts))
         return outcomes
 
@@ -326,6 +348,9 @@ class JobRunner:
                     (chunk, pool.apply_async(execute_chunk, ([payloads[i] for i in chunk],)))
                     for chunk in self._chunks(pending)
                 ]
+                for chunk, _handle in handles:
+                    for i in chunk:
+                        self._notify(specs[i], "running")
                 next_pending = []
                 aborted = False
                 for chunk, handle in handles:
@@ -350,6 +375,7 @@ class JobRunner:
                                 envelopes[i] = _timeout_envelope(self.timeout)
                                 if plane is not None:
                                     plane.finalize(i, envelopes[i])
+                                self._notify(specs[i], "timeout")
                         continue
                     for i, envelope in zip(chunk, results):
                         attempts[i] += 1
@@ -360,6 +386,7 @@ class JobRunner:
                             if plane is not None:
                                 plane.finalize(i, envelope)
                             envelopes[i] = envelope
+                            self._notify(specs[i], "done" if envelope["ok"] else "failed")
                 pending = next_pending
         finally:
             if plane is not None:

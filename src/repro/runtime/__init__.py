@@ -19,8 +19,7 @@ This package is the "distributed network" the paper's algorithms run on:
   :class:`BatchColoringEngine`,
 * :mod:`repro.runtime.backends` — the unified backend registry: engines of
   every kind are constructed through
-  ``resolve_backend(kind, backend)(graph, ...)`` (the old ``make_engine`` /
-  ``make_selfstab_engine`` dispatchers remain as deprecation shims),
+  ``resolve_backend(kind, backend)(graph, ...)``,
 * :mod:`repro.runtime.results` — the shared result protocol (``colors``,
   ``rounds``, ``to_dict()``) every execution result satisfies, so the
   :mod:`repro.parallel` job runner and the CLI serialize results uniformly.
@@ -32,7 +31,7 @@ The engine structurally enforces the locally-iterative contract: a vertex's
 from repro.runtime.graph import StaticGraph, DynamicGraph
 from repro.runtime.algorithm import LocallyIterativeColoring, NetworkInfo
 from repro.runtime.engine import ColoringEngine, RunResult, Visibility
-from repro.runtime.fast_engine import BatchColoringEngine, batch_supported, make_engine
+from repro.runtime.fast_engine import BatchColoringEngine, batch_supported
 from repro.runtime.pipeline import ColoringPipeline, PipelineResult
 from repro.runtime.metrics import RoundMetrics, MetricsLog
 from repro.runtime.backends import (
@@ -50,7 +49,6 @@ __all__ = [
     "NetworkInfo",
     "ColoringEngine",
     "BatchColoringEngine",
-    "make_engine",
     "batch_supported",
     "RunResult",
     "Visibility",

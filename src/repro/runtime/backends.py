@@ -1,9 +1,6 @@
 """The unified execution-backend registry.
 
-Historically the repository grew two near-identical dispatchers —
-``make_engine(backend=...)`` for one-shot coloring engines and
-``make_selfstab_engine(backend=...)`` for the self-stabilization layer.
-This module merges the twins into one registry keyed by *kind*:
+One registry constructs every execution engine, keyed by *kind*:
 
 * ``"engine"`` — synchronous round engines for locally-iterative stages
   (:class:`~repro.runtime.engine.ColoringEngine` /
@@ -31,11 +28,6 @@ Usage::
 
     engine = resolve_backend("engine", "auto")(graph, record_history=True)
     ss = resolve_backend("selfstab", "batch")(dynamic_graph, algorithm)
-
-The old entry points (``repro.runtime.make_engine``,
-``repro.selfstab.make_selfstab_engine``) remain as thin shims that emit
-:class:`DeprecationWarning` and delegate here; they are scheduled for
-removal in the 2.0 release (see ``docs/api.md``).
 
 New execution backends (a GPU engine, a distributed shard, ...) plug in via
 :func:`register_backend` without touching any dispatch site — the CLI and

@@ -40,7 +40,6 @@ best backend (``resolve_backend("engine", "auto")``).
 """
 
 import time
-import warnings
 
 from repro.errors import ImproperColoringError, PaletteOverflowError
 from repro.obs import core as obs
@@ -51,7 +50,6 @@ from repro.runtime.metrics import MetricsLog, RoundMetrics
 
 __all__ = [
     "BatchColoringEngine",
-    "make_engine",
     "batch_supported",
     "scalar_replay_round",
     "BACKENDS",
@@ -89,43 +87,6 @@ def scalar_replay_round(stage, round_index, colors, csr, visibility):
         if visibility is Visibility.SET_LOCAL:
             view = frozenset(view)
         stage.step(round_index, colors[v], view)
-
-
-def make_engine(
-    graph,
-    visibility=Visibility.LOCAL,
-    check_proper_each_round=False,
-    record_history=False,
-    backend="auto",
-    stages=None,
-):
-    """Deprecated dispatcher; use the :mod:`repro.runtime.backends` registry.
-
-    ``resolve_backend("engine", backend)(graph, ...)`` is the replacement
-    (one registry now serves both the coloring and the self-stabilization
-    engines); this shim forwards there unchanged and will be removed in the
-    2.0 release.  Backend semantics are documented on the registry's builtin
-    factories: ``auto`` picks the batch engine when NumPy is available and
-    every hinted stage supports the batch protocol, ``batch`` forces it
-    (RuntimeError without NumPy), ``reference`` forces the pure-Python
-    engine.
-    """
-    warnings.warn(
-        "make_engine is deprecated and will be removed in 2.0; use "
-        "repro.runtime.backends.resolve_backend('engine', backend) "
-        "(or the repro.run facade)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.runtime.backends import resolve_backend
-
-    return resolve_backend("engine", backend)(
-        graph,
-        stages=stages,
-        visibility=visibility,
-        check_proper_each_round=check_proper_each_round,
-        record_history=record_history,
-    )
 
 
 class BatchColoringEngine(ColoringEngine):

@@ -25,11 +25,65 @@ process boundaries.
 """
 
 import abc
+import warnings
 
-__all__ = ["Result", "RESULT_PROTOCOL", "is_result", "summarize"]
+__all__ = [
+    "Result",
+    "RESULT_PROTOCOL",
+    "SCHEMA_VERSION",
+    "SchemaVersionWarning",
+    "check_schema_version",
+    "is_result",
+    "summarize",
+]
 
 #: The members every result must expose.
 RESULT_PROTOCOL = ("colors", "rounds", "to_dict")
+
+#: Version stamp of the serialized wire formats (JobSpec dicts, summarize
+#: envelopes, the service's run records).  Bump when a dict layout changes
+#: incompatibly; readers tolerate newer stamps (see check_schema_version).
+SCHEMA_VERSION = 1
+
+
+class SchemaVersionWarning(RuntimeWarning):
+    """A serialized record carries a newer ``schema_version`` than this reader.
+
+    Emitted by :func:`check_schema_version`; reading proceeds on the known
+    fields (the tolerant-reader rule), so registries and wire peers written
+    by a newer release stay loadable — only genuinely unknown layouts are
+    at risk, and the warning names the versions involved.
+    """
+
+
+def check_schema_version(data, kind="record"):
+    """Tolerant-reader guard over a serialized dict's ``schema_version``.
+
+    Returns the version the record claims (``SCHEMA_VERSION`` when the field
+    is absent — every pre-versioning producer wrote format 1).  A *newer*
+    stamp than this reader supports emits :class:`SchemaVersionWarning` and
+    reading continues on the fields the reader knows; it never raises, which
+    is what lets the SQLite run registry and the service wire format evolve
+    without breaking stored runs.
+    """
+    if not isinstance(data, dict):
+        return SCHEMA_VERSION
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if not isinstance(version, int):
+        warnings.warn(
+            "ignoring non-integer schema_version %r on %s" % (version, kind),
+            SchemaVersionWarning,
+            stacklevel=2,
+        )
+        return SCHEMA_VERSION
+    if version > SCHEMA_VERSION:
+        warnings.warn(
+            "%s written with schema_version %d, newer than the supported %d; "
+            "reading the known fields only" % (kind, version, SCHEMA_VERSION),
+            SchemaVersionWarning,
+            stacklevel=2,
+        )
+    return version
 
 
 class Result(abc.ABC):
@@ -95,6 +149,7 @@ def summarize(result, detail=False):
         payload = result.to_dict()
     num_colors = getattr(result, "num_colors", None)
     return {
+        "schema_version": SCHEMA_VERSION,
         "kind": type(result).__name__,
         "rounds": result.rounds,
         "num_colors": num_colors,

@@ -21,8 +21,7 @@ legal state within ``O(Delta + log* n)`` rounds:
 :mod:`repro.selfstab.engine` provides the synchronous engine with the fault
 API, quiescence detection, and adjustment-radius measurement;
 :mod:`repro.selfstab.fast_engine` the vectorized drop-in engine (construct
-either through ``repro.runtime.backends.resolve_backend("selfstab", ...)``;
-the old ``make_selfstab_engine`` dispatcher remains as a deprecation shim);
+either through ``repro.runtime.backends.resolve_backend("selfstab", ...)``);
 and :mod:`repro.selfstab.adversary` seeded fault campaigns.
 """
 
@@ -31,7 +30,6 @@ from repro.selfstab.fast_engine import (
     BACKENDS,
     BatchSelfStabEngine,
     batch_supported,
-    make_selfstab_engine,
 )
 from repro.selfstab.plan import IntervalPlan
 from repro.selfstab.coloring import SelfStabColoring
@@ -45,7 +43,6 @@ __all__ = [
     "SelfStabAlgorithm",
     "SelfStabEngine",
     "BatchSelfStabEngine",
-    "make_selfstab_engine",
     "batch_supported",
     "BACKENDS",
     "IntervalPlan",

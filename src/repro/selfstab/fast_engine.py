@@ -29,8 +29,6 @@ inherited scalar ``step`` — as it does when NumPy is unavailable or the
 adversary planted an int too large for the columns.
 """
 
-import warnings
-
 from repro.obs import core as obs
 from repro.runtime.csr import CSRAdjacency, numpy_available, numpy_or_none
 from repro.selfstab.engine import SelfStabEngine
@@ -38,7 +36,6 @@ from repro.selfstab.kernels import BatchContext
 
 __all__ = [
     "BatchSelfStabEngine",
-    "make_selfstab_engine",
     "batch_supported",
     "BACKENDS",
 ]
@@ -49,32 +46,6 @@ BACKENDS = ("auto", "batch", "reference")
 def batch_supported(algorithm):
     """True iff ``algorithm`` implements the batch transition protocol."""
     return bool(getattr(algorithm, "batch_transitions", False))
-
-
-def make_selfstab_engine(graph, algorithm, set_visibility=False, backend="auto"):
-    """Deprecated dispatcher; use the :mod:`repro.runtime.backends` registry.
-
-    ``resolve_backend("selfstab", backend)(graph, algorithm, ...)`` is the
-    replacement (one registry now serves both the coloring and the
-    self-stabilization engines); this shim forwards there unchanged and will
-    be removed in the 2.0 release.  Backend semantics are documented on the
-    registry's builtin factories: ``auto`` picks the batch engine when NumPy
-    is available and the algorithm has batch transitions, ``batch`` forces
-    it (RuntimeError without NumPy), ``reference`` forces the pure-Python
-    engine.
-    """
-    warnings.warn(
-        "make_selfstab_engine is deprecated and will be removed in 2.0; use "
-        "repro.runtime.backends.resolve_backend('selfstab', backend) "
-        "(or the repro.run facade)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.runtime.backends import resolve_backend
-
-    return resolve_backend("selfstab", backend)(
-        graph, algorithm, set_visibility=set_visibility
-    )
 
 
 class BatchSelfStabEngine(SelfStabEngine):

@@ -1,0 +1,48 @@
+"""The experiment service: a long-lived daemon over a durable run registry.
+
+The paper's experiment catalogue is a set of (algorithm, graph, parameter)
+runs — exactly the shape of a job registry.  This package turns the
+value-typed :class:`~repro.parallel.jobs.JobSpec` + structural
+:class:`~repro.runtime.results.Result` protocol into a transport and
+persistence layer:
+
+* :mod:`repro.service.wire` — the versioned JSON wire format shared by the
+  HTTP endpoints, the client, and the registry rows;
+* :mod:`repro.service.registry` — the SQLite run registry: every run's
+  spec, status transitions (``queued -> running -> done|failed|timeout``),
+  result envelope, and telemetry-file pointer, behind ordered schema
+  migrations;
+* :mod:`repro.service.app` — :class:`ExperimentService` (the executor that
+  drains queued runs onto a :class:`~repro.parallel.runner.JobRunner`) and
+  the stdlib ``http.server`` front end (TCP or unix socket), including the
+  chunked live telemetry tail;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the thin Python
+  client speaking the same wire format as the ``repro-coloring
+  submit|runs|rerun|tail`` CLI subcommands.
+
+Start a daemon with ``repro-coloring serve --socket svc.sock --db
+registry.sqlite`` and talk to it from Python::
+
+    from repro.api import ServiceClient
+
+    client = ServiceClient("unix:svc.sock")
+    run = client.submit({"algorithm": "cor36",
+                         "graph": {"family": "regular", "n": 512, "degree": 8}},
+                        wait=True)
+    again = client.rerun(run["id"], wait=True)
+    assert again["summary"] == run["summary"]   # by-value specs re-run bit-identically
+"""
+
+from repro.service.app import ExperimentService, serve
+from repro.service.client import ServiceClient
+from repro.service.registry import STATUSES, RunRegistry
+from repro.service.wire import WIRE_VERSION
+
+__all__ = [
+    "ExperimentService",
+    "RunRegistry",
+    "STATUSES",
+    "ServiceClient",
+    "WIRE_VERSION",
+    "serve",
+]

@@ -1,0 +1,448 @@
+"""The experiment daemon: executor loop + stdlib HTTP front end.
+
+Two halves, one process:
+
+* :class:`ExperimentService` owns the durable pieces — a
+  :class:`~repro.service.registry.RunRegistry`, a persistent
+  :class:`~repro.parallel.runner.JobRunner` (the pool outlives individual
+  runs), and a single executor thread draining queued runs.  One run
+  executes at a time: the process-wide :mod:`repro.obs` collector is global
+  state, and serial execution is what lets each run stream into its own
+  telemetry file via :func:`repro.obs.route` while the runner still
+  parallelizes *within* the run across its worker pool.
+* the HTTP layer is stdlib ``http.server`` over TCP or a unix socket — no
+  new dependencies.  Responses are the :mod:`repro.service.wire` JSON
+  format; the telemetry endpoint streams chunked JSONL so ``?follow=1``
+  tails an in-flight run live.
+
+Endpoints (all under ``/v1``):
+
+========================== ======= =====================================
+``/v1/health``             GET     daemon liveness + run counts
+``/v1/runs``               POST    submit a JobSpec; returns the queued record
+``/v1/runs``               GET     list/filter (algorithm, n, delta, status, since, job_id, limit)
+``/v1/runs/<ref>``         GET     one record by run id or job-id string
+``/v1/runs/<ref>/rerun``   POST    re-execute a stored spec (provenance via ``rerun_of``)
+``/v1/runs/<ref>/telemetry`` GET   the run's JSONL stream (``?follow=1`` = live tail)
+========================== ======= =====================================
+
+Run lifecycle wiring: ``submit`` inserts the ``queued`` row; the runner's
+``on_status`` hook (see :class:`~repro.parallel.runner.JobRunner`) marks
+``running`` the moment the job is dispatched; the finished
+:class:`~repro.parallel.jobs.JobOutcome` maps to ``done`` / ``failed`` /
+``timeout`` via :meth:`~repro.service.registry.RunRegistry.finish`.
+"""
+
+import os
+import socket
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from queue import Empty, Queue
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.routing import route
+from repro.parallel.jobs import JobSpec, algorithm_names
+from repro.parallel.runner import JobRunner
+from repro.service.registry import TERMINAL_STATUSES, RunRegistry
+from repro.service.wire import (
+    WIRE_VERSION,
+    decode_body,
+    encode_body,
+    error_body,
+    spec_from_body,
+)
+
+__all__ = ["ExperimentService", "make_server", "serve"]
+
+#: Seconds between file polls while a chunked telemetry tail is following.
+_TAIL_POLL = 0.1
+
+
+class ExperimentService:
+    """The long-lived experiment executor over a durable run registry.
+
+    ``db`` is the SQLite registry path; ``telemetry_dir`` (default: a
+    ``telemetry/`` directory beside the registry file) receives one JSONL
+    file per run.  Runner knobs (``workers`` / ``timeout`` / ``retries`` /
+    ``mode``) configure the persistent :class:`~repro.parallel.runner.JobRunner`
+    every run executes on.  Call :meth:`start` to launch the executor
+    thread and :meth:`close` to drain it; the class is also a context
+    manager doing both.
+    """
+
+    def __init__(self, db, telemetry_dir=None, workers=None, timeout=None, retries=1, mode="auto"):
+        self.registry = RunRegistry(db)
+        if telemetry_dir is None:
+            base = os.path.dirname(os.path.abspath(db)) if db != ":memory:" else os.getcwd()
+            telemetry_dir = os.path.join(base, "telemetry")
+        self.telemetry_dir = telemetry_dir
+        os.makedirs(telemetry_dir, exist_ok=True)
+        self.runner = JobRunner(workers=workers, timeout=timeout, retries=retries, mode=mode)
+        self._queue = Queue()
+        self._thread = None
+        self._stop = threading.Event()
+        self._started = time.time()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self):
+        """Launch the executor thread (idempotent); returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._drain, name="repro-service-executor", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self):
+        """Stop the executor, release the pool, close the registry (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.runner.close()
+        self.registry.close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, spec, rerun_of=None):
+        """Queue one :class:`~repro.parallel.jobs.JobSpec`; returns its record.
+
+        The row is durable before this returns — a daemon crash after
+        ``submit`` leaves the run visible (``queued``) in the registry.
+        """
+        record = self.registry.create_run(spec, rerun_of=rerun_of)
+        self._queue.put(record["id"])
+        return record
+
+    def rerun(self, ref):
+        """Re-execute a stored run (by run id or job-id string) from its spec.
+
+        The new run's spec is the *stored* dict, not a re-derivation — the
+        by-value registry row is the single source of truth, which is what
+        makes historical re-runs bit-identical.  Raises :class:`KeyError`
+        for an unknown reference.
+        """
+        record = self.registry.resolve(ref)
+        if record is None:
+            raise KeyError("no run matching %r" % ref)
+        spec = JobSpec.from_dict(record["spec"])
+        return self.submit(spec, rerun_of=record["id"])
+
+    def health(self):
+        """The liveness payload: uptime, run counts, registry location."""
+        return {
+            "status": "ok",
+            "uptime": time.time() - self._started,
+            "registry": self.registry.path,
+            "registry_version": self.registry.schema_version,
+            "counts": self.registry.counts(),
+            "algorithms": list(algorithm_names()),
+            "workers": self.runner.workers,
+        }
+
+    def telemetry_path(self, record):
+        """Absolute path of a run record's telemetry JSONL file."""
+        filename = record["telemetry"] or ("run-%d.jsonl" % record["id"])
+        return os.path.join(self.telemetry_dir, filename)
+
+    # -- executor ----------------------------------------------------------------
+
+    def _drain(self):
+        """The executor loop: pop queued run ids, execute serially, persist."""
+        while not self._stop.is_set():
+            try:
+                run_id = self._queue.get(timeout=0.1)
+            except Empty:
+                continue
+            self._execute(run_id)
+
+    def _execute(self, run_id):
+        """Run one registry row end to end; every exit leaves a terminal status."""
+        record = self.registry.get(run_id)
+        if record is None:
+            return
+        try:
+            spec = JobSpec.from_dict(record["spec"])
+        except Exception as exc:
+            self.registry.fail(run_id, type(exc).__name__, str(exc))
+            return
+        filename = "run-%d.jsonl" % run_id
+        self.registry.mark_telemetry(run_id, filename)
+        registry = self.registry
+        self.runner.on_status = (
+            lambda _spec, status: registry.mark_running(run_id) if status == "running" else None
+        )
+        try:
+            with route(os.path.join(self.telemetry_dir, filename), source=spec.job_id) as tel:
+                tel.event("run.started", run=run_id, job=spec.job_id, rerun_of=record["rerun_of"])
+                outcome = self.runner.submit(spec)
+                tel.event(
+                    "run.finished",
+                    run=run_id,
+                    ok=outcome.ok,
+                    seconds=outcome.seconds,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+        except Exception as exc:
+            # The runner contains job failures in outcomes; reaching here
+            # means the service itself broke — never strand the row.
+            self.registry.fail(run_id, type(exc).__name__, str(exc))
+            return
+        finally:
+            self.runner.on_status = None
+        self.registry.finish(run_id, outcome)
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` bound to a unix domain socket path.
+
+    ``HTTPServer.server_bind`` assumes an ``(host, port)`` address, so this
+    binds through plain ``TCPServer`` and stamps placeholder name/port; a
+    stale socket file from a dead daemon is unlinked before binding.
+    """
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self):
+        """Bind the unix path, replacing a stale socket file if present."""
+        try:
+            os.unlink(self.server_address)
+        except OSError:
+            pass
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "localhost"
+        self.server_port = 0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1`` requests onto the server's :class:`ExperimentService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/%d" % WIRE_VERSION
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def address_string(self):
+        """Client name for logs; unix-socket peers have no host to resolve."""
+        if not self.client_address or isinstance(self.client_address, (str, bytes)):
+            return "unix"
+        return super().address_string()
+
+    def log_message(self, format, *args):
+        """Silence per-request stderr chatter unless the server asks for it."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status, payload):
+        """One complete JSON response (Content-Length framing)."""
+        body = encode_body(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status, kind, message):
+        """The uniform non-2xx error payload."""
+        self._send_json(status, error_body(kind, message))
+
+    def _read_body(self):
+        """The request body bytes (Content-Length framed; empty when absent)."""
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    # -- routing -----------------------------------------------------------------
+
+    def do_GET(self):
+        """Dispatch GET: health, run listing, single record, telemetry tail."""
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+        try:
+            if parts == ["v1", "health"]:
+                return self._send_json(200, self.server.service.health())
+            if parts == ["v1", "runs"]:
+                return self._list_runs(query)
+            if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+                return self._get_run(parts[2])
+            if len(parts) == 4 and parts[:2] == ["v1", "runs"] and parts[3] == "telemetry":
+                return self._telemetry(parts[2], query)
+            return self._send_error(404, "NotFound", "no route for %s" % url.path)
+        except ValueError as exc:
+            return self._send_error(400, "ValueError", str(exc))
+
+    def do_POST(self):
+        """Dispatch POST: submit a spec, or re-run a stored record."""
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "runs"]:
+                return self._submit()
+            if len(parts) == 4 and parts[:2] == ["v1", "runs"] and parts[3] == "rerun":
+                return self._rerun(parts[2])
+            return self._send_error(404, "NotFound", "no route for %s" % url.path)
+        except ValueError as exc:
+            return self._send_error(400, "ValueError", str(exc))
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def _submit(self):
+        """``POST /v1/runs`` — validate the spec, queue it, return the record."""
+        payload = decode_body(self._read_body(), kind="submit body")
+        spec = spec_from_body(payload)
+        record = self.server.service.submit(spec)
+        self._send_json(202, record)
+
+    def _rerun(self, ref):
+        """``POST /v1/runs/<ref>/rerun`` — re-queue a stored spec by value."""
+        try:
+            record = self.server.service.rerun(ref)
+        except KeyError:
+            return self._send_error(404, "NotFound", "no run matching %r" % ref)
+        self._send_json(202, record)
+
+    def _get_run(self, ref):
+        """``GET /v1/runs/<ref>`` — one record by run id or job-id string."""
+        record = self.server.service.registry.resolve(ref)
+        if record is None:
+            return self._send_error(404, "NotFound", "no run matching %r" % ref)
+        self._send_json(200, record)
+
+    def _list_runs(self, query):
+        """``GET /v1/runs`` — filtered listing, newest first."""
+
+        def _one(name, convert=None):
+            values = query.get(name)
+            if not values:
+                return None
+            return convert(values[0]) if convert is not None else values[0]
+
+        records = self.server.service.registry.list_runs(
+            algorithm=_one("algorithm"),
+            n=_one("n", int),
+            delta=_one("delta", int),
+            status=_one("status"),
+            since=_one("since", float),
+            job_id=_one("job_id"),
+            limit=_one("limit", int),
+        )
+        self._send_json(
+            200,
+            {"schema_version": WIRE_VERSION, "count": len(records), "runs": records},
+        )
+
+    def _telemetry(self, ref, query):
+        """``GET /v1/runs/<ref>/telemetry`` — the run's JSONL, chunked.
+
+        Plain requests return whatever the file holds right now;
+        ``?follow=1`` keeps the chunked stream open, polling the file and
+        the run's status, until the run is terminal and fully drained —
+        the live tail off the flight-recorder stream.
+        """
+        service = self.server.service
+        record = service.registry.resolve(ref)
+        if record is None:
+            return self._send_error(404, "NotFound", "no run matching %r" % ref)
+        follow = _one_flag(query, "follow")
+        path = service.telemetry_path(record)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            self._stream_file(record["id"], path, follow)
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _stream_file(self, run_id, path, follow):
+        """Write the file's bytes as HTTP chunks, tailing while following."""
+        service = self.server.service
+        offset = 0
+        while True:
+            data = b""
+            if os.path.exists(path):
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            if data:
+                offset += len(data)
+                self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+                self.wfile.flush()
+            if not follow:
+                return
+            if not data:
+                current = service.registry.get(run_id)
+                if current is None or current["status"] in TERMINAL_STATUSES:
+                    return
+                time.sleep(_TAIL_POLL)
+
+
+def _one_flag(query, name):
+    """True when a query parameter is present and truthy (``1``/``true``/...)."""
+    values = query.get(name)
+    if not values:
+        return False
+    return values[0].strip().lower() not in ("", "0", "false", "no")
+
+
+def make_server(service, socket_path=None, host="127.0.0.1", port=0, verbose=False):
+    """An HTTP server fronting ``service``, bound but not yet serving.
+
+    ``socket_path`` selects a unix domain socket; otherwise ``host:port``
+    TCP (``port=0`` picks a free port — read it back from
+    ``server.server_address``).  The caller owns the serve loop: call
+    ``serve_forever()`` (often on a thread) and ``server_close()`` after.
+    """
+    if socket_path is not None:
+        server = _UnixHTTPServer(socket_path, _Handler)
+    else:
+        server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service
+    server.verbose = verbose
+    return server
+
+
+def serve(db, socket_path=None, host="127.0.0.1", port=8357, telemetry_dir=None, workers=None, timeout=None, retries=1, mode="auto", verbose=False, ready=None):
+    """Run the experiment daemon until interrupted (the ``repro serve`` body).
+
+    Builds an :class:`ExperimentService` on ``db``, fronts it with
+    :func:`make_server`, and blocks in ``serve_forever``; ``ready`` (when
+    given) is called once with the listening address string.  Shutdown —
+    ``KeyboardInterrupt`` included — closes the pool, the registry, and
+    removes a unix socket file.
+    """
+    service = ExperimentService(
+        db,
+        telemetry_dir=telemetry_dir,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        mode=mode,
+    ).start()
+    server = make_server(service, socket_path=socket_path, host=host, port=port, verbose=verbose)
+    address = socket_path if socket_path is not None else "%s:%d" % server.server_address[:2]
+    if ready is not None:
+        ready(address)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        if socket_path is not None:
+            try:
+                os.unlink(socket_path)
+            except OSError:
+                pass

@@ -1,0 +1,215 @@
+"""The thin Python client for the experiment daemon (stdlib only).
+
+:class:`ServiceClient` speaks the :mod:`repro.service.wire` JSON format
+over ``http.client`` — TCP or unix domain socket, selected by the address
+string:
+
+* ``"unix:svc.sock"`` (or any ``unix:<path>``) — unix socket;
+* ``"localhost:8357"`` / ``"http://host:8357"`` — TCP.
+
+Every method returns plain wire dicts (run records, listings), so the
+client composes directly with :func:`~repro.parallel.jobs.JobSpec.from_dict`
+and the :mod:`repro.obs` exporters.  Server-side errors surface as
+:class:`ServiceError` carrying the wire error's ``kind`` and ``message``.
+
+The CLI subcommands (``repro-coloring submit|runs|rerun|tail``) are thin
+wrappers over this class; anything the CLI can do, a notebook can do::
+
+    client = ServiceClient("unix:svc.sock")
+    run = client.submit({"algorithm": "cor36",
+                         "graph": {"family": "regular", "n": 256, "degree": 8}},
+                        wait=True)
+    for event in client.tail(run["id"]):
+        print(event["type"])
+"""
+
+import http.client
+import json
+import socket
+import time
+from urllib.parse import urlencode, urlsplit
+
+from repro.service.wire import decode_body, encode_body
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response, carrying the wire error record.
+
+    ``status`` is the HTTP status code; ``kind`` / ``message`` mirror the
+    ``error`` object of the response body.
+    """
+
+    def __init__(self, status, kind, message):
+        super().__init__("%s (HTTP %d): %s" % (kind, status, message))
+        self.status = status
+        self.kind = kind
+        self.message = message
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``HTTPConnection`` dialing a unix domain socket path."""
+
+    def __init__(self, path, timeout=None):
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = path
+
+    def connect(self):
+        """Open the AF_UNIX stream to the daemon's socket file."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._socket_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon; see the module docstring.
+
+    ``timeout`` bounds each plain request in seconds; following tails and
+    ``wait=True`` polls manage their own patience.
+    """
+
+    def __init__(self, address, timeout=30.0):
+        self.address = address
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def _connection(self, timeout):
+        """A fresh connection to the daemon (one per request; HTTP/1.1 close)."""
+        address = self.address
+        if address.startswith("unix:"):
+            return _UnixHTTPConnection(address[len("unix:"):], timeout=timeout)
+        if "://" in address:
+            parts = urlsplit(address)
+            return http.client.HTTPConnection(
+                parts.hostname, parts.port or 80, timeout=timeout
+            )
+        host, _, port = address.rpartition(":")
+        return http.client.HTTPConnection(host or "127.0.0.1", int(port), timeout=timeout)
+
+    def _request(self, method, path, body=None):
+        """One request/response cycle; returns the decoded payload dict.
+
+        Raises :class:`ServiceError` for non-2xx responses and
+        :class:`ValueError` for bodies that are not valid wire JSON.
+        """
+        conn = self._connection(self.timeout)
+        try:
+            data = encode_body(body) if body is not None else None
+            headers = {"Content-Type": "application/json"} if data is not None else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            payload = decode_body(response.read(), kind="service response")
+            if response.status >= 300:
+                error = payload.get("error", {}) if isinstance(payload, dict) else {}
+                raise ServiceError(
+                    response.status,
+                    error.get("kind", "ServiceError"),
+                    error.get("message", "request failed"),
+                )
+            return payload
+        finally:
+            conn.close()
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self):
+        """The daemon's liveness payload (status, counts, uptime)."""
+        return self._request("GET", "/v1/health")
+
+    def submit(self, spec, wait=False, timeout=None, poll=0.05):
+        """Submit one job; returns its run record.
+
+        ``spec`` is a ``JobSpec.to_dict`` dict (or anything with a
+        ``to_dict``).  ``wait=True`` polls until the run is terminal and
+        returns the finished record instead of the queued one.
+        """
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        record = self._request("POST", "/v1/runs", body={"spec": spec})
+        if wait:
+            return self.wait(record["id"], timeout=timeout, poll=poll)
+        return record
+
+    def get(self, ref):
+        """The run record for a run id or job-id string."""
+        return self._request("GET", "/v1/runs/%s" % ref)
+
+    def runs(self, algorithm=None, n=None, delta=None, status=None, since=None, job_id=None, limit=None):
+        """Run records matching every given filter, newest first."""
+        params = {
+            name: value
+            for name, value in (
+                ("algorithm", algorithm),
+                ("n", n),
+                ("delta", delta),
+                ("status", status),
+                ("since", since),
+                ("job_id", job_id),
+                ("limit", limit),
+            )
+            if value is not None
+        }
+        path = "/v1/runs"
+        if params:
+            path += "?" + urlencode(params)
+        return self._request("GET", path)["runs"]
+
+    def rerun(self, ref, wait=False, timeout=None, poll=0.05):
+        """Re-execute a stored run by id; returns the *new* run's record."""
+        record = self._request("POST", "/v1/runs/%s/rerun" % ref)
+        if wait:
+            return self.wait(record["id"], timeout=timeout, poll=poll)
+        return record
+
+    def wait(self, ref, timeout=None, poll=0.05):
+        """Poll a run until it reaches a terminal status; returns the record.
+
+        Raises :class:`TimeoutError` when ``timeout`` seconds pass first —
+        the run itself keeps going; only the wait gives up.
+        """
+        from repro.service.registry import TERMINAL_STATUSES
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.get(ref)
+            if record["status"] in TERMINAL_STATUSES:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("run %r not terminal after %.3gs" % (ref, timeout))
+            time.sleep(poll)
+
+    def tail(self, ref, follow=False):
+        """Yield the run's telemetry records (dicts) from the daemon's stream.
+
+        ``follow=True`` holds the chunked response open and keeps yielding
+        as the in-flight run records events, ending when the run reaches a
+        terminal status — the programmatic form of ``repro-coloring tail -f``.
+        """
+        conn = self._connection(None if follow else self.timeout)
+        try:
+            conn.request(
+                "GET",
+                "/v1/runs/%s/telemetry%s" % (ref, "?follow=1" if follow else ""),
+            )
+            response = conn.getresponse()
+            if response.status >= 300:
+                payload = decode_body(response.read(), kind="service response")
+                error = payload.get("error", {}) if isinstance(payload, dict) else {}
+                raise ServiceError(
+                    response.status,
+                    error.get("kind", "ServiceError"),
+                    error.get("message", "request failed"),
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,387 @@
+"""The durable run registry: every run's spec, status, result, telemetry.
+
+One SQLite file holds the whole experiment history.  A *run* is one
+execution of one :class:`~repro.parallel.jobs.JobSpec`: the spec is stored
+by value (JSON of ``to_dict``), so any historical run can be re-executed
+bit-identically by ``id`` forever — the registry is the durable half of the
+determinism contract (spec in, identical summary out).
+
+Schema migrations are ordered DDL scripts gated on ``PRAGMA user_version``:
+opening a registry applies exactly the migrations its file has not seen, so
+a daemon upgrade never loses stored runs and an old file opens under a new
+release.  Row payloads (``spec`` / ``summary`` / ``error`` JSON columns)
+carry their own ``schema_version`` stamps and are read through the
+tolerant-reader check, decoupling payload evolution from DDL evolution.
+
+Status machine: ``queued -> running -> done | failed | timeout`` (plus
+``queued -> failed`` for specs that cannot start).  Every transition is
+also appended to the ``run_events`` table with its wall-clock timestamp, so
+the full lifecycle of any run — including retries re-entering ``running``
+— survives daemon restarts.
+
+The class is thread-safe (one connection, one lock): HTTP handler threads
+read while the executor thread writes.
+"""
+
+import json
+import os
+import sqlite3
+import threading
+import time
+
+from repro.runtime.results import SCHEMA_VERSION, check_schema_version
+
+__all__ = ["MIGRATIONS", "RunRegistry", "STATUSES"]
+
+#: Legal run states, in lifecycle order.
+STATUSES = ("queued", "running", "done", "failed", "timeout")
+
+#: Terminal states: a run in one of these never transitions again.
+TERMINAL_STATUSES = ("done", "failed", "timeout")
+
+#: Ordered DDL migrations; ``PRAGMA user_version`` records how many have
+#: been applied to a file.  Append-only — released entries never change.
+MIGRATIONS = (
+    # v1: the core runs table + per-transition event log.
+    """
+    CREATE TABLE runs (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_id TEXT NOT NULL,
+        algorithm TEXT NOT NULL,
+        family TEXT,
+        n INTEGER,
+        delta INTEGER,
+        backend TEXT,
+        seed INTEGER,
+        spec TEXT NOT NULL,
+        schema_version INTEGER NOT NULL,
+        status TEXT NOT NULL,
+        created REAL NOT NULL,
+        started REAL,
+        finished REAL,
+        seconds REAL,
+        attempts INTEGER,
+        summary TEXT,
+        error TEXT,
+        telemetry TEXT
+    );
+    CREATE TABLE run_events (
+        run_id INTEGER NOT NULL REFERENCES runs(id),
+        status TEXT NOT NULL,
+        ts REAL NOT NULL
+    );
+    """,
+    # v2: re-run provenance + the hot list-filter indexes.
+    """
+    ALTER TABLE runs ADD COLUMN rerun_of INTEGER;
+    CREATE INDEX idx_runs_job_id ON runs(job_id);
+    CREATE INDEX idx_runs_status ON runs(status);
+    CREATE INDEX idx_runs_algorithm ON runs(algorithm);
+    """,
+)
+
+
+class RunRegistry:
+    """The SQLite-backed run store (thread-safe; one file per service).
+
+    ``path`` may be a filesystem path (created, with parents, on first
+    open) or ``":memory:"`` for tests.  Opening applies any pending
+    migrations from :data:`MIGRATIONS`.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._migrate()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _migrate(self):
+        with self._lock:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            for index in range(version, len(MIGRATIONS)):
+                self._conn.executescript(MIGRATIONS[index])
+                self._conn.execute("PRAGMA user_version = %d" % (index + 1))
+            self._conn.commit()
+
+    @property
+    def schema_version(self):
+        """Number of applied DDL migrations (``PRAGMA user_version``)."""
+        with self._lock:
+            return self._conn.execute("PRAGMA user_version").fetchone()[0]
+
+    def close(self):
+        """Commit and release the connection (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- writes ------------------------------------------------------------------
+
+    def create_run(self, spec, rerun_of=None):
+        """Insert one ``queued`` run for ``spec``; returns its record dict.
+
+        ``rerun_of`` records provenance when the spec was copied from a
+        stored historical run.  The spec is stored by value — the registry
+        row alone re-runs the job on any future daemon.
+        """
+        data = spec.to_dict()
+        graph = data.get("graph") or {}
+        now = time.time()
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (job_id, algorithm, family, n, delta, backend,"
+                " seed, spec, schema_version, status, created, rerun_of)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec.job_id,
+                    spec.algorithm,
+                    graph.get("family"),
+                    graph.get("n"),
+                    graph.get("degree"),
+                    spec.backend,
+                    spec.seed,
+                    json.dumps(data, sort_keys=True),
+                    SCHEMA_VERSION,
+                    "queued",
+                    now,
+                    rerun_of,
+                ),
+            )
+            run_id = cursor.lastrowid
+            self._conn.execute(
+                "INSERT INTO run_events (run_id, status, ts) VALUES (?, ?, ?)",
+                (run_id, "queued", now),
+            )
+            self._conn.commit()
+        return self.get(run_id)
+
+    def _transition(self, run_id, status, assignments, values):
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE runs SET status = ?%s WHERE id = ?"
+                % ("".join(", %s = ?" % name for name in assignments)),
+                tuple([status] + values + [run_id]),
+            )
+            self._conn.execute(
+                "INSERT INTO run_events (run_id, status, ts) VALUES (?, ?, ?)",
+                (run_id, status, now),
+            )
+            self._conn.commit()
+        return now
+
+    def mark_running(self, run_id):
+        """Transition a run to ``running`` (idempotent across retries).
+
+        The first transition stamps ``started``; a retry re-entering
+        ``running`` only appends a ``run_events`` row.
+        """
+        row = self.get(run_id)
+        if row is None:
+            raise KeyError("unknown run id %r" % run_id)
+        if row["started"] is not None:
+            self._transition(run_id, "running", (), [])
+        else:
+            now = self._transition(run_id, "running", ("started",), [0.0])
+            with self._lock:
+                self._conn.execute(
+                    "UPDATE runs SET started = ? WHERE id = ?", (now, run_id)
+                )
+                self._conn.commit()
+
+    def mark_telemetry(self, run_id, filename):
+        """Record the run's telemetry JSONL pointer (file name, not bytes)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE runs SET telemetry = ? WHERE id = ?", (filename, run_id)
+            )
+            self._conn.commit()
+
+    def finish(self, run_id, outcome):
+        """Persist a finished :class:`~repro.parallel.jobs.JobOutcome`.
+
+        Maps the outcome to its terminal status (``done`` / ``timeout`` /
+        ``failed``), stores the ``summarize`` envelope or the error record,
+        and stamps ``finished`` / ``seconds`` / ``attempts``.
+        """
+        if outcome.ok:
+            status = "done"
+        elif outcome.timed_out:
+            status = "timeout"
+        else:
+            status = "failed"
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE runs SET status = ?, finished = ?, seconds = ?,"
+                " attempts = ?, summary = ?, error = ? WHERE id = ?",
+                (
+                    status,
+                    now,
+                    outcome.seconds,
+                    outcome.attempts,
+                    json.dumps(outcome.summary, sort_keys=True)
+                    if outcome.summary is not None
+                    else None,
+                    json.dumps(outcome.error, sort_keys=True)
+                    if outcome.error is not None
+                    else None,
+                    run_id,
+                ),
+            )
+            self._conn.execute(
+                "INSERT INTO run_events (run_id, status, ts) VALUES (?, ?, ?)",
+                (run_id, status, now),
+            )
+            self._conn.commit()
+        return self.get(run_id)
+
+    def fail(self, run_id, kind, message):
+        """Force a run to ``failed`` with an error record (no outcome).
+
+        The path for runs that cannot start at all — an unknown algorithm
+        discovered late, an executor crash — so no row is ever stranded in
+        a non-terminal state by a software fault.
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE runs SET status = 'failed', finished = ?, error = ?"
+                " WHERE id = ?",
+                (
+                    now,
+                    json.dumps(
+                        {"kind": kind, "message": message, "traceback": None},
+                        sort_keys=True,
+                    ),
+                    run_id,
+                ),
+            )
+            self._conn.execute(
+                "INSERT INTO run_events (run_id, status, ts) VALUES (?, ?, ?)",
+                (run_id, "failed", now),
+            )
+            self._conn.commit()
+        return self.get(run_id)
+
+    # -- reads -------------------------------------------------------------------
+
+    @staticmethod
+    def _record(row):
+        """A ``runs`` row as the wire-format record dict."""
+        record = {
+            "schema_version": row["schema_version"],
+            "id": row["id"],
+            "job_id": row["job_id"],
+            "status": row["status"],
+            "created": row["created"],
+            "started": row["started"],
+            "finished": row["finished"],
+            "seconds": row["seconds"],
+            "attempts": row["attempts"],
+            "telemetry": row["telemetry"],
+            "rerun_of": row["rerun_of"],
+            "spec": json.loads(row["spec"]),
+            "summary": json.loads(row["summary"]) if row["summary"] else None,
+            "error": json.loads(row["error"]) if row["error"] else None,
+        }
+        check_schema_version(record["spec"], kind="stored spec")
+        if record["summary"] is not None:
+            check_schema_version(record["summary"], kind="stored summary")
+        return record
+
+    def get(self, run_id):
+        """The record dict for one run id, or None."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def latest_for_job(self, job_id):
+        """The most recent run record carrying ``job_id``, or None."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE job_id = ? ORDER BY id DESC LIMIT 1",
+                (job_id,),
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def resolve(self, ref):
+        """A run record from a reference: numeric run id or job-id string."""
+        if isinstance(ref, int) or (isinstance(ref, str) and ref.isdigit()):
+            return self.get(int(ref))
+        return self.latest_for_job(ref)
+
+    def list_runs(
+        self,
+        algorithm=None,
+        n=None,
+        delta=None,
+        status=None,
+        since=None,
+        job_id=None,
+        limit=None,
+    ):
+        """Run records matching every given filter, newest first.
+
+        ``delta`` filters the stored graph ``degree`` column (the registry's
+        degree-bound axis); ``since`` is a wall-clock lower bound on
+        ``created``; ``limit`` caps the result count.
+        """
+        clauses, values = [], []
+        for column, value in (
+            ("algorithm", algorithm),
+            ("n", n),
+            ("delta", delta),
+            ("status", status),
+            ("job_id", job_id),
+        ):
+            if value is not None:
+                clauses.append("%s = ?" % column)
+                values.append(value)
+        if since is not None:
+            clauses.append("created >= ?")
+            values.append(float(since))
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id DESC"
+        if limit is not None:
+            sql += " LIMIT %d" % int(limit)
+        with self._lock:
+            rows = self._conn.execute(sql, tuple(values)).fetchall()
+        return [self._record(row) for row in rows]
+
+    def events(self, run_id):
+        """The run's status transitions, oldest first: ``[(status, ts), ...]``."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, ts FROM run_events WHERE run_id = ?"
+                " ORDER BY rowid",
+                (run_id,),
+            ).fetchall()
+        return [(row["status"], row["ts"]) for row in rows]
+
+    def counts(self):
+        """Run counts by status (``{"queued": 2, "done": 40, ...}``)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS count FROM runs GROUP BY status"
+            ).fetchall()
+        return {row["status"]: row["count"] for row in rows}

@@ -1,0 +1,99 @@
+"""The service wire format: versioned JSON shared by server, client, and CLI.
+
+Every body that crosses the HTTP boundary is JSON with a ``schema_version``
+stamp (the same :data:`~repro.runtime.results.SCHEMA_VERSION` that versions
+``JobSpec.to_dict`` and the ``summarize`` result envelope — the registry
+rows, the wire, and the process-pool payloads are one format family).
+Readers apply the tolerant-reader rule via
+:func:`~repro.runtime.results.check_schema_version`: a newer producer's
+extra fields are ignored, never fatal, so a 1.x client can read a 1.y
+server's responses and a restarted daemon can read every stored run.
+
+Shapes
+------
+run record (``GET /v1/runs/<id>``, elements of ``GET /v1/runs``)
+    ``{"schema_version", "id", "job_id", "spec", "status", "created",
+    "started", "finished", "seconds", "attempts", "summary", "error",
+    "telemetry", "rerun_of"}`` — ``spec`` is the stored
+    ``JobSpec.to_dict``, ``summary`` the ``summarize`` envelope (null until
+    ``done``), ``telemetry`` the run's JSONL file name (null when the run
+    recorded none).
+submit body (``POST /v1/runs``)
+    a ``JobSpec.to_dict`` dict, optionally wrapped as ``{"spec": {...}}``.
+error body (any non-2xx)
+    ``{"schema_version", "error": {"kind", "message"}}``.
+"""
+
+import json
+
+from repro.runtime.results import SCHEMA_VERSION, check_schema_version
+
+__all__ = [
+    "WIRE_VERSION",
+    "decode_body",
+    "encode_body",
+    "error_body",
+    "spec_from_body",
+]
+
+#: Version stamp of the HTTP wire format (aliases the shared record schema).
+WIRE_VERSION = SCHEMA_VERSION
+
+
+def encode_body(payload):
+    """Serialize one wire payload to UTF-8 JSON bytes (stamped, sorted keys).
+
+    Sorted keys keep responses byte-deterministic for a given payload, which
+    is what lets the CI smoke assert a re-run's record equals the original's
+    field-for-field.
+    """
+    if isinstance(payload, dict):
+        payload = dict(payload)
+        payload.setdefault("schema_version", WIRE_VERSION)
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def decode_body(data, kind="wire payload"):
+    """Parse UTF-8 JSON bytes, applying the tolerant-reader version check.
+
+    Raises :class:`ValueError` for unparseable bytes; a parseable dict with
+    a newer ``schema_version`` warns and is returned as-is.
+    """
+    try:
+        payload = json.loads(data.decode("utf-8") if isinstance(data, bytes) else data)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ValueError("request body is not valid JSON") from None
+    check_schema_version(payload, kind=kind)
+    return payload
+
+
+def error_body(kind, message):
+    """The uniform error payload for non-2xx responses."""
+    return {
+        "schema_version": WIRE_VERSION,
+        "error": {"kind": kind, "message": message},
+    }
+
+
+def spec_from_body(payload):
+    """A validated :class:`~repro.parallel.jobs.JobSpec` from a submit body.
+
+    Accepts a bare ``JobSpec.to_dict`` dict or the ``{"spec": {...}}``
+    wrapper; rejects (``ValueError``) bodies that are not dicts or that name
+    an unregistered algorithm — the submit endpoint refuses jobs that could
+    only fail at execution time.
+    """
+    from repro.parallel.jobs import JobSpec, algorithm_names
+
+    if not isinstance(payload, dict):
+        raise ValueError("submit body must be a JSON object")
+    data = payload.get("spec", payload)
+    if not isinstance(data, dict):
+        raise ValueError("'spec' must be a JSON object")
+    spec = JobSpec.from_dict(data)
+    if spec.algorithm not in algorithm_names():
+        raise ValueError(
+            "unknown algorithm %r (registered: %s)"
+            % (spec.algorithm, ", ".join(algorithm_names()))
+        )
+    return spec

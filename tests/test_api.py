@@ -1,0 +1,55 @@
+"""The v1 public API facade: surface, re-exports, and versioning.
+
+``repro.api`` is the supported contract; these tests pin down that every
+promised name exists, that the :mod:`repro` root re-exports the identical
+objects, and that the facade actually runs jobs — so a consumer written
+against the documented surface never touches an internal module.
+"""
+
+import repro
+import repro.api as api
+
+
+class TestSurface:
+    def test_every_promised_name_exists(self):
+        for name in api.__all__:
+            assert hasattr(api, name), "repro.api.%s missing" % name
+
+    def test_root_reexports_the_same_objects(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name), name
+            assert name in repro.__all__, name
+
+    def test_api_version_is_one(self):
+        assert api.API_VERSION == 1
+        assert isinstance(api.SCHEMA_VERSION, int)
+
+    def test_facade_aliases_the_internal_layers(self):
+        from repro.parallel.runner import run as internal_run
+        from repro.runtime.backends import resolve_backend as internal_resolve
+        from repro.service.client import ServiceClient as InternalClient
+
+        assert api.run is internal_run
+        assert api.resolve_backend is internal_resolve
+        assert api.ServiceClient is InternalClient
+
+
+class TestFacadeRuns:
+    def test_run_through_the_facade(self):
+        outcome = api.run(
+            api.JobSpec(
+                algorithm="cor36",
+                graph={"family": "regular", "n": 48, "degree": 4, "seed": 2},
+                seed=2,
+            )
+        )
+        assert outcome.ok
+        assert outcome.num_colors <= 5
+        assert isinstance(outcome, api.JobOutcome)
+        assert outcome.summary["schema_version"] == api.SCHEMA_VERSION
+
+    def test_registries_are_reachable(self):
+        assert "cor36" in api.algorithm_names()
+        assert "auto" in api.backend_names("engine")
+        engine_factory = api.resolve_backend("engine", "reference")
+        assert callable(engine_factory)

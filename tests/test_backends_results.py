@@ -1,7 +1,5 @@
 """Backend registry, shared result protocol, deprecation shims, obs.absorb."""
 
-import warnings
-
 import pytest
 
 from repro import graphgen, obs
@@ -76,29 +74,23 @@ class TestBackendRegistry:
 
 
 class TestDeprecationShims:
-    def test_make_engine_warns_and_works(self):
-        from repro.core.ag import AdditiveGroupColoring
-        from repro.runtime.fast_engine import make_engine
+    def test_make_engine_shim_is_gone(self):
+        # The 2.0 removal promised by the deprecation cycle: the registry is
+        # the only construction path now.
+        import repro.runtime
+        import repro.runtime.fast_engine as fast_engine
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine = make_engine(_graph(), backend="reference")
-        assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        result = engine.run(AdditiveGroupColoring(), list(range(40)))
-        assert result.rounds == result.rounds_used
+        assert not hasattr(fast_engine, "make_engine")
+        assert not hasattr(repro.runtime, "make_engine")
+        assert "make_engine" not in repro.runtime.__all__
 
-    def test_make_selfstab_engine_warns_and_works(self):
-        from repro.runtime.graph import DynamicGraph
-        from repro.selfstab import SelfStabExactColoring
-        from repro.selfstab.fast_engine import make_selfstab_engine
+    def test_make_selfstab_engine_shim_is_gone(self):
+        import repro.selfstab
+        import repro.selfstab.fast_engine as fast_engine
 
-        graph = DynamicGraph.from_static(_graph(24, 4))
-        algorithm = SelfStabExactColoring(graph.n_bound, graph.delta_bound)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine = make_selfstab_engine(graph, algorithm, backend="reference")
-        assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert engine.run_to_quiescence() >= 0
+        assert not hasattr(fast_engine, "make_selfstab_engine")
+        assert not hasattr(repro.selfstab, "make_selfstab_engine")
+        assert "make_selfstab_engine" not in repro.selfstab.__all__
 
     def test_core_pipeline_reexports_recipes(self):
         import repro.core.pipeline as old

@@ -27,10 +27,17 @@ from repro.selfstab import (
     SelfStabMaximalMatching,
     SelfStabMIS,
     batch_supported,
-    make_selfstab_engine,
 )
+from repro.runtime.backends import resolve_backend
 from repro.selfstab.adversary import TargetedAttacks
 from repro.selfstab.lowmem import SelfStabColoringConstantMemory
+
+
+def make_selfstab_engine(graph, algorithm, set_visibility=False, backend="auto"):
+    """Registry-constructed selfstab engine (successor of the removed shim)."""
+    return resolve_backend("selfstab", backend)(
+        graph, algorithm, set_visibility=set_visibility
+    )
 
 requires_numpy = pytest.mark.requires_numpy
 

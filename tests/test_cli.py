@@ -159,7 +159,7 @@ class TestJsonOutput:
 class TestParallelCommands:
     def test_color_seed_fanout(self):
         code, text = run_cli(
-            ["color", "--n", "48", "--degree", "4", "--seeds", "2", "--jobs", "2"]
+            ["color", "--n", "48", "--degree", "4", "--seeds", "2", "--workers", "2"]
         )
         assert code == 0
         assert "jobs: 2 ok, 0 failed" in text
@@ -174,7 +174,7 @@ class TestParallelCommands:
 
     def test_sweep_table(self):
         code, text = run_cli(
-            ["sweep", "--n", "32,48", "--degree", "4", "--seeds", "2", "--jobs", "2"]
+            ["sweep", "--n", "32,48", "--degree", "4", "--seeds", "2", "--workers", "2"]
         )
         assert code == 0
         assert "jobs: 4 ok, 0 failed" in text
@@ -195,7 +195,7 @@ class TestParallelCommands:
         path = str(tmp_path / "sweep.jsonl")
         code, text = run_cli(
             ["sweep", "--n", "24,32", "--degree", "4", "--seeds", "1",
-             "--jobs", "2", "--telemetry", path]
+             "--workers", "2", "--telemetry", path]
         )
         assert code == 0
         from repro import obs
@@ -221,22 +221,11 @@ class TestParallelCommands:
         assert code == 0
         assert "jobs: 4 ok, 0 failed" in text
 
-    def test_jobs_alias_still_works_but_warns(self):
-        with pytest.warns(DeprecationWarning, match="--jobs is deprecated"):
-            code, text = run_cli(
-                ["sweep", "--n", "32", "--degree", "4", "--seeds", "2", "--jobs", "2"]
-            )
-        assert code == 0
-        assert "jobs: 2 ok, 0 failed" in text
-
-    def test_workers_wins_over_jobs_alias(self):
-        with pytest.warns(DeprecationWarning, match="--jobs is deprecated"):
-            code, text = run_cli(
-                ["color", "--n", "48", "--degree", "4", "--seeds", "2",
-                 "--workers", "2", "--jobs", "4"]
-            )
-        assert code == 0
-        assert "jobs: 2 ok, 0 failed" in text
+    def test_jobs_alias_removed(self):
+        with pytest.raises(SystemExit):
+            run_cli(["sweep", "--n", "32", "--degree", "4", "--jobs", "2"])
+        with pytest.raises(SystemExit):
+            run_cli(["color", "--n", "32", "--degree", "4", "--jobs", "2"])
 
     def test_sweep_unknown_algorithm_fails_cleanly(self):
         code, text = run_cli(

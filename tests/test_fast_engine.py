@@ -30,9 +30,15 @@ from repro.runtime import (
     StaticGraph,
     Visibility,
     batch_supported,
-    make_engine,
 )
+from repro.runtime.backends import resolve_backend
 from repro.runtime.csr import numpy_available
+
+
+def make_engine(graph, backend="auto", stages=None, **kwargs):
+    """Registry-constructed coloring engine (successor of the removed shim)."""
+    return resolve_backend("engine", backend)(graph, stages=stages, **kwargs)
+
 
 requires_numpy = pytest.mark.requires_numpy
 

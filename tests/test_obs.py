@@ -21,7 +21,8 @@ from repro.obs.exporters import (
     summary_table,
     write_jsonl,
 )
-from repro.runtime import ColoringEngine, make_engine
+from repro.runtime import ColoringEngine
+from repro.runtime.backends import resolve_backend
 from repro.runtime.csr import numpy_available
 from repro.runtime.metrics import MetricsLog, RoundMetrics
 
@@ -228,7 +229,7 @@ class TestEngineTelemetry:
             step_batch = None  # opt out of the inherited batch kernel
 
         graph = random_regular(24, 4, seed=11)
-        engine = make_engine(graph, backend="batch")
+        engine = resolve_backend("engine", "batch")(graph)
         stage = ScalarOnlyKW()
         with obs.capture() as tel:
             engine.run(stage, [v % 7 for v in range(graph.n)], in_palette_size=7)
@@ -241,12 +242,12 @@ class TestEngineTelemetry:
 
 class TestSelfStabTelemetry:
     def _engine(self, seed=21, backend="reference"):
-        from repro.selfstab import SelfStabColoring, make_selfstab_engine
+        from repro.selfstab import SelfStabColoring
         from tests.test_selfstab_coloring import build_dynamic
 
         graph = build_dynamic(24, 4, 0.2, seed=seed)
         algorithm = SelfStabColoring(24, 4)
-        return make_selfstab_engine(graph, algorithm, backend=backend)
+        return resolve_backend("selfstab", backend)(graph, algorithm)
 
     def test_stabilization_record(self):
         engine = self._engine()
